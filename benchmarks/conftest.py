@@ -1,0 +1,37 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one table/figure of the paper, prints it,
+and appends it to ``results/<name>.txt`` so a tee'd run leaves a full
+record.  Scale knobs (all optional):
+
+- ``REPRO_PRESET``   : ``bench`` (default, minutes) or ``paper`` (slow);
+- ``REPRO_EPISODES`` : RL episodes per HeteroG search (default 24);
+- ``REPRO_ITERATIONS``: measured engine iterations per strategy (def. 5).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir, request):
+    """Callable that prints a rendered table and persists it."""
+
+    def _report(title: str, body: str) -> None:
+        text = f"== {title} ==\n{body}\n"
+        print("\n" + text)
+        out = results_dir / f"{request.node.name}.txt"
+        out.write_text(text)
+
+    return _report

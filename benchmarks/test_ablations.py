@@ -1,0 +1,70 @@
+"""Ablations of HeteroG's design choices (beyond the paper's tables).
+
+Sec. 8 credits four ingredients: hybrid DP+MP, variable replica
+distribution, mixed PS/AllReduce, and the execution schedule.  These
+benches remove one ingredient at a time.
+"""
+
+import pytest
+
+from repro.cluster import cluster_8gpu
+from repro.experiments import (
+    communication_ablation,
+    fusion_ablation,
+    grouping_ablation,
+    jitter_sensitivity,
+    render_ablation,
+)
+
+
+def test_communication_ablation(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: communication_ablation(cluster_8gpu(), model="bert_large"),
+        rounds=1, iterations=1,
+    )
+    report("Ablation — hybrid PS/AllReduce vs single-method",
+           render_ablation(rows))
+    by = {r.variant: r for r in rows}
+    hybrid = by["hybrid (HeteroG)"]
+    assert not hybrid.oom
+    # forcing a single comm method must not beat the hybrid
+    for variant in ("AllReduce-only", "PS-only"):
+        if not by[variant].oom:
+            assert hybrid.time <= by[variant].time * 1.05, variant
+
+
+def test_fusion_ablation(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: fusion_ablation(cluster_8gpu(), model="resnet200"),
+        rounds=1, iterations=1,
+    )
+    report("Ablation — gradient fusion bucket size (EV-AR, ResNet)",
+           render_ablation(rows))
+    unfused = rows[0].time
+    best = min(r.time for r in rows[1:])
+    # moderate fusion must beat no fusion (the Horovod tensor-fusion win)
+    assert best < unfused
+
+
+def test_grouping_ablation(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: grouping_ablation(cluster_8gpu(), model="inception_v3",
+                                  group_sizes=[4, 40]),
+        rounds=1, iterations=1,
+    )
+    report("Ablation — number of op groups N", render_ablation(rows))
+    by = {r.variant: r for r in rows}
+    # finer groups give the search at least as good strategies
+    assert by["N=40"].time <= by["N=4"].time * 1.10
+
+
+def test_jitter_sensitivity(benchmark, report):
+    out = benchmark.pedantic(
+        lambda: jitter_sensitivity(cluster_8gpu(), model="vgg19"),
+        rounds=1, iterations=1,
+    )
+    body = "\n".join(f"sigma={s:.2f} -> cv={cv:.4f}"
+                     for s, cv in sorted(out.items()))
+    report("Ablation — kernel-jitter sensitivity", body)
+    assert out[0.0] == pytest.approx(0.0, abs=1e-9)
+    assert out[0.1] > out[0.02]

@@ -1,0 +1,31 @@
+"""Fig. 3(a): even vs proportional whole-model replica allocation.
+
+Paper: proportional allocation on 2x V100 + 2x 1080Ti speeds training up
+by only ~9-27% — not enough, motivating per-operation decisions.
+"""
+
+from repro.experiments import (
+    fig3a_proportional_allocation,
+    paper_values,
+    render_fig3a,
+)
+
+
+def test_fig3a_proportional_allocation(benchmark, report):
+    points = benchmark.pedantic(
+        fig3a_proportional_allocation, rounds=1, iterations=1
+    )
+    body = render_fig3a(points)
+    body += "\n\npaper (approximate bar heights):\n"
+    for model, (even, prop) in paper_values.FIG3A.items():
+        body += (f"  {model:14s} even={even:.2f}s prop={prop:.2f}s "
+                 f"speedup={(even - prop) / prop * 100:.0f}%\n")
+    report("Fig. 3(a) — even vs proportional replica allocation", body)
+
+    # shape assertions: proportional helps, but only modestly
+    for p in points:
+        assert p.proportional < p.even, p.model
+        assert p.speedup < 0.8, (
+            f"{p.model}: proportional allocation should not be a magic "
+            f"bullet (paper: 9-27%)"
+        )

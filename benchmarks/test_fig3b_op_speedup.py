@@ -1,0 +1,26 @@
+"""Fig. 3(b): normalized per-op execution time, GTX 1080Ti vs Tesla V100.
+
+Paper: the average V100 speed-up varies from ~1.1x to ~1.9x across op
+types, and varies strongly with input size even within one type.
+"""
+
+from repro.experiments import fig3b_op_speedups, paper_values, render_fig3b
+
+
+def test_fig3b_op_speedups(benchmark, report):
+    points = benchmark.pedantic(fig3b_op_speedups, rounds=1, iterations=1)
+    body = render_fig3b(points)
+    body += "\n\npaper (approximate bar heights):\n"
+    for op, ratio in paper_values.FIG3B.items():
+        body += f"  {op:16s} {ratio:.1f}\n"
+    report("Fig. 3(b) — per-op 1080Ti/V100 time ratios", body)
+
+    by_type = {p.op_type: p for p in points}
+    means = [p.mean for p in points]
+    # the paper's range: speed-ups between ~1.1 and ~1.9
+    assert 1.0 <= min(means) and max(means) <= 2.2
+    assert max(means) - min(means) > 0.2, "ratios should vary across types"
+    # within-type variance from input sizes exists
+    assert any(p.spread > 0.1 for p in points)
+    # compute-bound convs see a larger gap than the mix of ops overall
+    assert by_type["Conv2D"].mean >= by_type["Conv1D"].mean

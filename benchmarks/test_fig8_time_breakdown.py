@@ -1,0 +1,53 @@
+"""Fig. 8: per-iteration computation/communication breakdown (8 GPUs).
+
+Paper shape: with HeteroG both computation and communication shrink vs
+the best DP baseline, and the overlap ratio (comp+comm)/iteration rises
+(VGG19: 1.31 -> 1.47 vs CP-AR; BERT: 1.21 -> 1.56 vs CP-PS).
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig8_time_breakdown,
+    paper_values,
+    render_fig8,
+)
+
+
+@pytest.fixture(scope="module")
+def bars():
+    return fig8_time_breakdown()
+
+
+def test_fig8_time_breakdown(benchmark, report, bars):
+    benchmark.pedantic(lambda: bars, rounds=1, iterations=1)
+    body = render_fig8(bars)
+    body += "\n\npaper Fig. 8 (per-iter / computation / communication):\n"
+    for model, schemes in paper_values.FIG8.items():
+        for scheme, (t, comp, comm) in schemes.items():
+            body += (f"  {model:12s} {scheme:8s} {t:.3f}  {comp:.2f}  "
+                     f"{comm:.2f}\n")
+    report("Fig. 8 — computation/communication breakdown", body)
+
+
+def test_heterog_reduces_iteration_time(bars):
+    by = {(b.model, b.scheme): b for b in bars}
+    assert (by[("vgg19", "HeteroG")].per_iteration
+            <= by[("vgg19", "CP-AR")].per_iteration * 1.02)
+    assert (by[("bert_large", "HeteroG")].per_iteration
+            < by[("bert_large", "CP-PS")].per_iteration)
+
+
+def test_overlap_exists(bars):
+    """Computation and communication overlap: comp+comm exceeds the
+    iteration time whenever communication is non-trivial."""
+    for b in bars:
+        if b.communication > 0.1 * b.per_iteration:
+            assert b.overlap_ratio > 1.0, (b.model, b.scheme)
+        assert b.overlap_ratio <= 2.0 + 1e-9
+
+
+def test_heterog_communication_not_larger(bars):
+    by = {(b.model, b.scheme): b for b in bars}
+    assert (by[("bert_large", "HeteroG")].communication
+            <= by[("bert_large", "CP-PS")].communication * 1.1)

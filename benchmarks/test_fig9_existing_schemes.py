@@ -1,0 +1,51 @@
+"""Fig. 9: HeteroG vs HetPipe, FlexFlow, Horovod and Post (12 GPUs).
+
+Paper shape: normalized to Horovod, HeteroG is the fastest on every
+model (outperforming the others by 16-392%); HetPipe/FlexFlow land
+between Horovod and HeteroG; Post (placement-only, no replication) is
+clearly the slowest.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig9_existing_schemes,
+    paper_values,
+    render_fig9,
+)
+
+MODELS = ["resnet200", "transformer", "bert_large"]
+
+
+@pytest.fixture(scope="module")
+def bars():
+    return fig9_existing_schemes(models=MODELS)
+
+
+def test_fig9_existing_schemes(benchmark, report, bars):
+    benchmark.pedantic(lambda: bars, rounds=1, iterations=1)
+    body = render_fig9(bars)
+    body += "\n\npaper Fig. 9 (normalized training speed):\n"
+    for model, schemes in paper_values.FIG9.items():
+        body += f"  {model:14s} " + "  ".join(
+            f"{k}={v:.2f}" for k, v in schemes.items()) + "\n"
+    report("Fig. 9 — comparison with existing schemes", body)
+
+
+def test_heterog_fastest(bars):
+    for bar in bars:
+        best_other = max(v for k, v in bar.speeds.items() if k != "HeteroG")
+        assert bar.speeds["HeteroG"] >= best_other * 0.98, bar.model
+
+
+def test_post_slowest(bars):
+    """Placement-only search cannot exploit data parallelism."""
+    for bar in bars:
+        others = [v for k, v in bar.speeds.items() if k != "Post"]
+        assert bar.speeds["Post"] <= min(others) * 1.05, bar.model
+
+
+def test_normalization(bars):
+    for bar in bars:
+        norm = bar.normalized()
+        assert norm["Horovod"] == pytest.approx(1.0)

@@ -1,0 +1,39 @@
+"""Table 2: fraction of ops per parallelism strategy chosen by HeteroG.
+
+Paper shape: for the small models, the vast majority of ops are data
+parallel with a *mixture* of PS and AllReduce and of even/proportional
+allocation; a small share (~2-7%) of parameter-heavy ops (VGG fc layers,
+BERT/XLNet embeddings) are placed on one fast GPU without replication.
+"""
+
+import pytest
+
+from repro.cluster import cluster_8gpu
+from repro.experiments import per_iteration_table, strategy_mix_table
+from repro.experiments.tables import mp_fraction
+
+MODELS = ["vgg19", "bert_large", "transformer", "mobilenet_v2"]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return per_iteration_table(cluster_8gpu(), 8, models=MODELS,
+                               include_large=False)
+
+
+def test_table2_strategy_mix(benchmark, report, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    report("Table 2 — strategy mix of HeteroG (8 GPUs)",
+           strategy_mix_table(rows, cluster_8gpu()))
+
+
+def test_dp_dominates_small_models(rows):
+    """Small models stay mostly data-parallel (Table 2 vs Table 3)."""
+    for row in rows:
+        assert mp_fraction(row.heterog.mix) < 0.5, row.label
+
+
+def test_mix_is_valid_distribution(rows):
+    for row in rows:
+        assert sum(row.heterog.mix.values()) == pytest.approx(1.0)
+        assert all(v >= 0 for v in row.heterog.mix.values())

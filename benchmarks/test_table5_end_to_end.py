@@ -1,0 +1,61 @@
+"""Table 5: end-to-end training time to the target accuracy.
+
+Paper shape: HeteroG's graph rewriting preserves synchronous-SGD
+semantics, so iterations-to-converge are unchanged and the end-to-end
+speed-up mirrors the per-iteration speed-up; more GPUs (larger global
+batch) reduce wall-clock for every scheme.
+"""
+
+import pytest
+
+from repro.experiments import (
+    end_to_end_table,
+    paper_values,
+    render_end_to_end,
+)
+
+MODELS = ["vgg19", "mobilenet_v2", "resnet200"]
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return end_to_end_table(models=MODELS)
+
+
+def test_table5_end_to_end(benchmark, report, rows):
+    benchmark.pedantic(lambda: rows, rounds=1, iterations=1)
+    body = render_end_to_end(rows)
+    body += "\n\npaper Table 5 (HeteroG / CP-PS / CP-AR minutes):\n"
+    for model, per_gpu in paper_values.TABLE5.items():
+        for gpus, vals in per_gpu.items():
+            body += (f"  {model:14s} {gpus:2d} GPUs  "
+                     + "  ".join(f"{v:.1f}" for v in vals) + "\n")
+    report("Table 5 — end-to-end training minutes", body)
+
+
+def test_heterog_fastest_end_to_end(rows):
+    for row in rows:
+        h = row.minutes["HeteroG"]
+        assert h < row.minutes["CP-PS"]
+        assert h <= row.minutes["CP-AR"] * 1.02
+
+
+def test_more_gpus_faster(rows):
+    """12-GPU end-to-end beats 8-GPU for each model and scheme."""
+    by_model = {}
+    for row in rows:
+        by_model.setdefault(row.model, {})[row.gpus] = row
+    for model, per_gpu in by_model.items():
+        if 8 in per_gpu and 12 in per_gpu:
+            for scheme in ("HeteroG", "CP-AR"):
+                assert (per_gpu[12].minutes[scheme]
+                        < per_gpu[8].minutes[scheme]), (model, scheme)
+
+
+def test_speedup_mirrors_per_iteration(rows):
+    """End-to-end speed-up equals per-iteration speed-up by construction
+    (same iteration count) — the Sec. 6.4 argument."""
+    for row in rows:
+        h = row.minutes["HeteroG"]
+        ratio = row.minutes["CP-PS"] / h
+        assert ratio > 1.0

@@ -1,0 +1,64 @@
+"""Exploring the cluster and cost models directly.
+
+Shows the substrate HeteroG's decisions rest on: per-op execution times
+across GPU generations (the Fig. 3(b) effect), link bandwidths, and
+AllReduce structure selection:
+
+    python examples/custom_cluster.py
+"""
+
+from repro.cluster import (
+    GBPS,
+    GTX_1080TI,
+    NVLINK,
+    TESLA_P100,
+    TESLA_V100,
+    Cluster,
+    LinkSpec,
+    ServerSpec,
+)
+from repro.experiments import fig3b_op_speedups, format_table
+from repro.parallel import choose_allreduce, cluster_link_lookup
+
+
+def main():
+    # A custom 6-GPU cluster: a DGX-like V100 box plus two older machines.
+    cluster = Cluster([
+        ServerSpec("dgx", TESLA_V100, 4, LinkSpec("100GbE", 100 * GBPS, 15e-6),
+                   intra_link=NVLINK),
+        ServerSpec("old0", GTX_1080TI, 1, LinkSpec("25GbE", 25 * GBPS, 15e-6)),
+        ServerSpec("old1", TESLA_P100, 1, LinkSpec("25GbE", 25 * GBPS, 15e-6)),
+    ])
+    print(f"cluster: {cluster}")
+    print("\nrelative compute power (weakest = 1.0):")
+    for dev, power in cluster.relative_powers().items():
+        model = cluster.device(dev).spec.model
+        print(f"  {dev} ({model}): {power:.2f}")
+
+    print("\nlink bandwidths (GB/s):")
+    rows = []
+    for src, dst in [("gpu0", "gpu1"), ("gpu0", "gpu4"), ("gpu4", "gpu5")]:
+        link = cluster.link(src, dst)
+        kind = "intra-server" if link.intra_server else "inter-server"
+        rows.append([f"{src} -> {dst}", kind,
+                     f"{link.bandwidth / 1e9:.1f}"])
+    print(format_table(["Path", "Kind", "GB/s"], rows))
+
+    print("\nAllReduce structure choice for a 512 MB gradient:")
+    lookup = cluster_link_lookup(cluster)
+    hierarchical, t = choose_allreduce(cluster.device_ids, 512e6, lookup,
+                                       cluster)
+    print(f"  {'hierarchical' if hierarchical else 'flat ring'}, "
+          f"estimated {t * 1e3:.1f} ms")
+
+    print("\nper-op 1080Ti/V100 time ratios (the Fig. 3(b) effect):")
+    rows = []
+    for point in fig3b_op_speedups(seed=0):
+        rows.append([point.op_type, f"{point.mean:.2f}",
+                     f"{min(point.normalized_times):.2f}"
+                     f"-{max(point.normalized_times):.2f}"])
+    print(format_table(["Op type", "Mean ratio", "Range"], rows))
+
+
+if __name__ == "__main__":
+    main()

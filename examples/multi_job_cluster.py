@@ -1,0 +1,63 @@
+"""Sharing a heterogeneous cluster among training jobs (paper Sec. 7).
+
+Uses HeteroG as a blackbox speed oracle to split the 8-GPU testbed among
+competing jobs under different objectives:
+
+    python examples/multi_job_cluster.py
+"""
+
+from repro.cluster import cluster_8gpu
+from repro.experiments import format_table
+from repro.graph import GraphBuilder, build_training_graph
+from repro.graph.models import build_model
+from repro.multijob import Job, MultiJobAllocator, Objective
+
+
+def wide_job(name: str, width: int, layers: int, batch: int) -> Job:
+    b = GraphBuilder(name, batch)
+    x = b.input((width,))
+    for i in range(layers):
+        x = b.dense(x, width, layer=f"fc{i}")
+        x = b.activation(x, layer=f"fc{i}")
+    b.softmax_loss(x, 100)
+    return Job(name, build_training_graph(b), global_batch=batch)
+
+
+def main():
+    cluster = cluster_8gpu()
+    jobs = [
+        # conv-heavy job: scales across GPUs (compute >> gradient traffic)
+        Job("resnet-train", build_model("resnet200", "tiny", batch_size=256,
+                                        image_size=64), global_batch=256),
+        # wide MLP: parameter-heavy, saturates quickly
+        wide_job("recsys", width=1024, layers=4, batch=256),
+        Job("mobilenet-finetune", build_model("mobilenet_v2", "tiny"),
+            global_batch=8),
+    ]
+    allocator = MultiJobAllocator(cluster, seed=0)
+
+    for objective in (Objective.MAX_THROUGHPUT, Objective.FAIRNESS):
+        allocation = allocator.allocate(jobs, objective=objective)
+        rows = []
+        for job in jobs:
+            devices = allocation.devices[job.name]
+            models = {}
+            for d in devices:
+                model = cluster.device(d).spec.model
+                models[model] = models.get(model, 0) + 1
+            rows.append([
+                job.name,
+                str(len(devices)),
+                ", ".join(f"{n}x {m}" for m, n in models.items()),
+                f"{allocation.speeds[job.name]:,.0f}",
+            ])
+        print(f"\nobjective: {objective.value}")
+        print(format_table(
+            ["Job", "GPUs", "Devices", "samples/s"], rows))
+        print(f"total throughput: {allocation.total_throughput():,.0f} "
+              f"samples/s; slowest job: {allocation.min_speed():,.0f}; "
+              f"idle GPUs: {len(allocation.idle)}")
+
+
+if __name__ == "__main__":
+    main()

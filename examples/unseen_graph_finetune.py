@@ -1,0 +1,76 @@
+"""Fine-tuning the GNN policy on an unseen graph (paper Sec. 6.5).
+
+Pretrains the policy on a set of DNN graphs, then compares how quickly a
+fresh policy vs the pretrained one reaches a good strategy for a model
+family neither has seen:
+
+    python examples/unseen_graph_finetune.py
+"""
+
+import time
+
+from repro.agent import AgentConfig, HeteroGAgent
+from repro.cluster import cluster_4gpu
+from repro.graph.models import build_model
+
+CONFIG = AgentConfig(max_groups=20, gat_hidden=32, gat_layers=2, gat_heads=2,
+                     strategy_dim=32, strategy_heads=2, strategy_layers=1,
+                     use_seeds=False)  # isolate what the *policy* learned
+
+PRETRAIN_MODELS = ["vgg19", "mobilenet_v2", "transformer"]
+UNSEEN = "inception_v3"
+
+
+def best_time_curve(agent, name, episodes):
+    curve = []
+    for _ in range(episodes):
+        agent.trainer.train_episode()
+        curve.append(agent.trainer.best_time(name))
+    return curve
+
+
+def main():
+    cluster = cluster_4gpu()
+    episodes = 30
+
+    print(f"pretraining policy on {PRETRAIN_MODELS} ...")
+    pretrained = HeteroGAgent(cluster, CONFIG)
+    for model in PRETRAIN_MODELS:
+        pretrained.add_graph(build_model(model, "tiny"))
+    start = time.time()
+    pretrained.train(25)
+    print(f"  pretraining took {time.time() - start:.1f}s")
+
+    unseen_graph = build_model(UNSEEN, "tiny")
+
+    scratch = HeteroGAgent(cluster, CONFIG)
+    scratch.add_graph(unseen_graph)
+    scratch_curve = best_time_curve(scratch, unseen_graph.name, episodes)
+
+    finetune = HeteroGAgent(cluster, CONFIG)
+    finetune.add_graph(build_model(UNSEEN, "tiny"))
+    finetune.load_policy_state(pretrained.policy_state())
+    finetune_curve = best_time_curve(finetune, unseen_graph.name, episodes)
+
+    print(f"\nbest simulated iteration time on unseen {UNSEEN!r} "
+          f"(lower is better):")
+    print(f"{'episode':>8s} {'from scratch':>14s} {'fine-tuned':>12s}")
+    for i in range(0, episodes, 5):
+        print(f"{i + 1:8d} {scratch_curve[i]:14.4f} {finetune_curve[i]:12.4f}")
+
+    target = scratch_curve[-1] * 1.05
+    reach = next((i + 1 for i, t in enumerate(finetune_curve)
+                  if t <= target), None)
+    scratch_reach = next((i + 1 for i, t in enumerate(scratch_curve)
+                          if t <= target), episodes)
+    if reach is not None:
+        print(f"\nfine-tuned policy reached the scratch-quality strategy in "
+              f"{reach} episodes vs {scratch_reach} from scratch "
+              f"({reach / scratch_reach * 100:.0f}%)")
+    else:
+        print("\nfine-tuned policy did not reach scratch quality within "
+              f"{episodes} episodes")
+
+
+if __name__ == "__main__":
+    main()

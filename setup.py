@@ -1,0 +1,10 @@
+"""Legacy setup.py shim.
+
+Kept so ``python setup.py develop`` / ``pip install -e .`` work in
+offline environments whose setuptools lacks PEP-517 editable-wheel
+support; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

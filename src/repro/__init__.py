@@ -1,0 +1,67 @@
+"""HeteroG reproduction — optimizing distributed DNN training deployment
+in heterogeneous GPU clusters (Yi et al., CoNEXT 2020).
+
+Public surface:
+
+- :func:`get_runner` / :class:`Dataset` — the paper's client API.
+- :class:`HeteroG` — the full pipeline facade (analyze / profile / plan /
+  deploy / run).
+- ``repro.graph`` — computation-graph IR and the benchmark model zoo.
+- ``repro.cluster`` — heterogeneous cluster model and testbed presets.
+- ``repro.parallel`` — strategies, distributed-graph IR, graph compiler.
+- ``repro.scheduling`` — execution-order scheduling.
+- ``repro.agent`` — GNN policy and REINFORCE strategy search.
+- ``repro.baselines`` — DP baselines and related-work schemes.
+- ``repro.runtime`` — execution engine (testbed stand-in) and runner.
+"""
+
+from . import (
+    agent,
+    cluster,
+    graph,
+    parallel,
+    profiling,
+    runtime,
+    scheduling,
+    simulation,
+)
+from .api import Dataset, get_runner, parse_device_info
+from .config import HeteroGConfig
+from .errors import (
+    CompileError,
+    GraphError,
+    OutOfMemoryError,
+    PlacementError,
+    ProfilingError,
+    ReproError,
+    SimulationError,
+    StrategyError,
+)
+from .heterog import HeteroG
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "get_runner",
+    "Dataset",
+    "parse_device_info",
+    "HeteroG",
+    "HeteroGConfig",
+    "ReproError",
+    "GraphError",
+    "PlacementError",
+    "CompileError",
+    "SimulationError",
+    "OutOfMemoryError",
+    "ProfilingError",
+    "StrategyError",
+    "graph",
+    "cluster",
+    "parallel",
+    "scheduling",
+    "agent",
+    "profiling",
+    "runtime",
+    "simulation",
+    "__version__",
+]

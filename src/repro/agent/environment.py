@@ -1,0 +1,92 @@
+"""The Strategy Maker's environment: compile -> schedule -> simulate.
+
+The Simulator "estimates the per-iteration training time for setting
+rewards for GNN training, and also tracks memory usage on each device, to
+set bad rewards for strategies leading to memory overflow" (Sec. 3.3).
+All timings here come from the *profiler's* predictions — the testbed
+(TruthCostModel) is never consulted during strategy search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cluster.topology import Cluster
+from ..errors import CompileError, SimulationError
+from ..graph.dag import ComputationGraph
+from ..parallel.compiler import GraphCompiler
+from ..parallel.distgraph import DistGraph
+from ..parallel.strategy import Strategy
+from ..profiling.profiler import Profile
+from ..scheduling.list_scheduler import FifoScheduler, ListScheduler
+from ..simulation.costs import ProfileCostModel
+from ..simulation.engine import Simulator
+from ..simulation.metrics import SimulationResult
+
+
+@dataclass
+class EvalOutcome:
+    """Result of evaluating one strategy in the simulator."""
+
+    time: float                  # simulated per-iteration seconds
+    oom: bool
+    result: Optional[SimulationResult]
+    dist_ops: int
+    infeasible: bool = False    # compile/simulate failed outright
+
+    @property
+    def feasible(self) -> bool:
+        return not (self.oom or self.infeasible)
+
+
+class StrategyEvaluator:
+    """Evaluates strategies for one (graph, cluster, profile) context."""
+
+    def __init__(self, graph: ComputationGraph, cluster: Cluster,
+                 profile: Profile, *, use_order_scheduling: bool = True,
+                 group_of: Optional[Dict[str, int]] = None):
+        self.graph = graph
+        self.cluster = cluster
+        self.profile = profile
+        self.use_order_scheduling = use_order_scheduling
+        self.group_of = group_of
+        self.cost = ProfileCostModel(cluster, profile)
+        self.capacities = {
+            d.device_id: d.usable_memory_bytes for d in cluster.devices
+        }
+        self._scheduler = ListScheduler() if use_order_scheduling else FifoScheduler()
+        self._simulator = Simulator(self.cost)
+
+    def compile(self, strategy: Strategy) -> DistGraph:
+        compiler = GraphCompiler(self.cluster, self.profile,
+                                 group_of=self.group_of)
+        dist = compiler.compile(self.graph, strategy)
+        self._last_resident = compiler.resident_bytes
+        return dist
+
+    def evaluate(self, strategy: Strategy, *, trace: bool = False
+                 ) -> EvalOutcome:
+        try:
+            dist = self.compile(strategy)
+        except CompileError:
+            return EvalOutcome(time=float("inf"), oom=False, result=None,
+                               dist_ops=0, infeasible=True)
+        schedule = self._scheduler.schedule(dist, self.cost)
+        try:
+            result = self._simulator.run(
+                dist,
+                priorities=schedule.priorities,
+                resident_bytes=self._last_resident,
+                capacities=self.capacities,
+                trace=trace,
+            )
+        except SimulationError:
+            return EvalOutcome(time=float("inf"), oom=False, result=None,
+                               dist_ops=len(dist), infeasible=True)
+        return EvalOutcome(
+            time=result.makespan,
+            oom=result.oom,
+            result=result,
+            dist_ops=len(dist),
+        )

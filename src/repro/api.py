@@ -1,0 +1,121 @@
+"""Client API (paper Sec. 3.5, Fig. 5).
+
+.. code-block:: python
+
+    import repro as heterog
+
+    def model_func():
+        # create single GPU model
+        return build_vgg19(batch_size=192)
+
+    def input_func():
+        return heterog.Dataset(batch_size=192)
+
+    dist_runner = heterog.get_runner(
+        model_func, input_func, device_info, heterog_config)
+    dist_runner.run(steps)
+
+``device_info`` is either a :class:`~repro.cluster.Cluster` or a list of
+per-machine dicts with hostnames, GPU model and count, e.g.::
+
+    [{"host": "10.0.0.1", "gpu_model": "Tesla V100", "gpus": 4,
+      "nic_gbps": 100},
+     {"host": "10.0.0.2", "gpu_model": "GTX 1080Ti", "gpus": 2,
+      "nic_gbps": 50}]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Mapping, Optional, Sequence, Union
+
+from .cluster.device import GPU_MODELS
+from .cluster.link import GBPS, NVLINK, PCIE3, LinkSpec
+from .cluster.topology import Cluster, ServerSpec
+from .config import HeteroGConfig
+from .errors import ReproError
+from .graph.dag import ComputationGraph
+from .heterog import HeteroG
+from .runtime.runner import DistributedRunner
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Input pipeline description (the ``input_func`` return value)."""
+
+    batch_size: int
+    num_samples: int = 1_000_000
+    sample_shape: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ReproError(f"batch_size must be positive: {self.batch_size}")
+
+
+DeviceInfo = Union[Cluster, Sequence[Mapping[str, object]]]
+
+
+def parse_device_info(device_info: DeviceInfo) -> Cluster:
+    """Build a :class:`Cluster` from the client's device description."""
+    if isinstance(device_info, Cluster):
+        return device_info
+    servers: List[ServerSpec] = []
+    for i, entry in enumerate(device_info):
+        try:
+            model = str(entry["gpu_model"])
+            gpus = int(entry["gpus"])  # type: ignore[arg-type]
+        except KeyError as missing:
+            raise ReproError(
+                f"device_info entry {i} missing key {missing}"
+            ) from None
+        if model not in GPU_MODELS:
+            raise ReproError(
+                f"unknown GPU model {model!r}; known: {sorted(GPU_MODELS)}"
+            )
+        nic_gbps = float(entry.get("nic_gbps", 50))  # type: ignore[arg-type]
+        nic = LinkSpec(f"{nic_gbps:.0f}GbE", nic_gbps * GBPS, 15e-6)
+        intra = NVLINK if bool(entry.get("nvlink", model == "Tesla V100")) \
+            else PCIE3
+        host = str(entry.get("host", f"server{i}"))
+        servers.append(ServerSpec(host, GPU_MODELS[model], gpus, nic,
+                                  intra_link=intra))
+    return Cluster(servers)
+
+
+def get_runner(
+    model_func: Callable[[], ComputationGraph],
+    input_func: Callable[[], Dataset],
+    device_info: DeviceInfo,
+    heterog_config: Optional[HeteroGConfig] = None,
+) -> DistributedRunner:
+    """Convert a single-GPU model into a distributed runner (Sec. 3.5).
+
+    Computes deployment strategies (GNN search + order scheduling),
+    produces the distributed training model, and returns the runner whose
+    ``run(steps)`` executes it on the heterogeneous cluster.
+    """
+    graph = model_func()
+    if not isinstance(graph, ComputationGraph):
+        raise ReproError(
+            "model_func must return a ComputationGraph (the single-GPU "
+            "training graph)"
+        )
+    dataset = input_func()
+    batch = _graph_batch(graph)
+    if batch and dataset.batch_size != batch:
+        raise ReproError(
+            f"input_func batch_size {dataset.batch_size} != model batch "
+            f"size {batch}"
+        )
+    cluster = parse_device_info(device_info)
+    module = HeteroG(cluster, heterog_config)
+    deployment = module.deploy(graph)
+    return module.runner(deployment)
+
+
+def _graph_batch(graph: ComputationGraph) -> int:
+    from .graph.op import OpPhase
+    for op in graph:
+        if op.phase is OpPhase.INPUT and op.output.batch_size:
+            return int(op.output.batch_size)
+    return 0

@@ -1,0 +1,105 @@
+"""Post-style baseline (Gao et al., 2018).
+
+Post "integrates an online RL algorithm and a batch learning algorithm"
+(cross-entropy minimization + proximal policy optimization) to learn
+*device placement* of DNN operations; per the paper's Sec. 6.8 critique,
+it "only considers operation-to-device placement but not operation-level
+data parallelism".
+
+Reproduction at that scope: a cross-entropy-method search over per-group
+device assignments (MP only, no replication, no comm-method choice,
+default FIFO order), scored on the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..agent.environment import StrategyEvaluator
+from ..agent.policy import actions_to_strategy
+from ..cluster.topology import Cluster
+from ..graph.dag import ComputationGraph
+from ..graph.grouping import Grouping, group_operations
+from ..parallel.strategy import Strategy
+from ..profiling.profiler import Profile, Profiler
+
+
+@dataclass
+class CEMResult:
+    """Outcome of one cross-entropy placement search."""
+    strategy: Strategy
+    time: float
+    evaluations: int
+
+
+class PostSearch:
+    """Cross-entropy placement search (device-only action space)."""
+
+    def __init__(self, graph: ComputationGraph, cluster: Cluster,
+                 profile: Optional[Profile] = None, *, max_groups: int = 60,
+                 seed: int = 0):
+        self.graph = graph
+        self.cluster = cluster
+        self.profile = profile or Profiler(seed=seed).profile(graph, cluster)
+        avg = {op.name: op.flops for op in graph}
+        self.grouping: Grouping = group_operations(graph, avg, max_groups)
+        self.evaluator = StrategyEvaluator(
+            graph, cluster, self.profile,
+            use_order_scheduling=False,
+            group_of=self.grouping.group_of,
+        )
+        self.rng = np.random.default_rng(seed)
+
+    def _evaluate(self, placements: np.ndarray) -> float:
+        strategy = actions_to_strategy(self.graph, self.cluster,
+                                       self.grouping, placements)
+        outcome = self.evaluator.evaluate(strategy)
+        return outcome.time if outcome.feasible else float("inf")
+
+    def search(self, rounds: int = 8, samples_per_round: int = 12,
+               elite_fraction: float = 0.25,
+               smoothing: float = 0.7) -> CEMResult:
+        m = self.cluster.num_devices
+        n = self.grouping.num_groups
+        probs = np.full((n, m), 1.0 / m)
+        best: Optional[np.ndarray] = None
+        best_time = float("inf")
+        evaluations = 0
+        num_elite = max(1, int(samples_per_round * elite_fraction))
+        for _ in range(rounds):
+            batch: List[np.ndarray] = []
+            scores: List[float] = []
+            for _ in range(samples_per_round):
+                draws = np.array([
+                    self.rng.choice(m, p=probs[g]) for g in range(n)
+                ])
+                time = self._evaluate(draws)
+                evaluations += 1
+                batch.append(draws)
+                scores.append(time)
+                if time < best_time:
+                    best, best_time = draws.copy(), time
+            order = np.argsort(scores)[:num_elite]
+            elite = np.stack([batch[i] for i in order])
+            counts = np.zeros((n, m))
+            for row in elite:
+                counts[np.arange(n), row] += 1.0
+            refit = counts / counts.sum(axis=1, keepdims=True)
+            probs = smoothing * probs + (1 - smoothing) * refit
+        if best is None:  # pragma: no cover - defensive
+            best = np.zeros(n, dtype=np.int64)
+            best_time = self._evaluate(best)
+        strategy = actions_to_strategy(self.graph, self.cluster,
+                                       self.grouping, best)
+        return CEMResult(strategy=strategy, time=best_time,
+                         evaluations=evaluations)
+
+
+def post_strategy(graph: ComputationGraph, cluster: Cluster,
+                  profile: Optional[Profile] = None, *, seed: int = 0,
+                  rounds: int = 8) -> Strategy:
+    """Convenience wrapper: run the CEM placement search, return its best strategy."""
+    return PostSearch(graph, cluster, profile, seed=seed).search(rounds).strategy

@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+plan        search a deployment strategy for a model on a cluster preset
+baselines   measure the four DP baselines for a model
+models      list registered benchmark models and their sizes
+clusters    show the cluster presets
+experiment  run one paper experiment (table1, table4, table7, fig3a,
+            fig3b, fig8, fig9)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cluster import cluster_4gpu, cluster_8gpu, cluster_12gpu
+from .graph.models import ALL_MODELS, build_model, model_names
+
+CLUSTERS = {
+    "4gpu": cluster_4gpu,
+    "8gpu": cluster_8gpu,
+    "12gpu": cluster_12gpu,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cluster", choices=sorted(CLUSTERS), default="8gpu",
+                        help="testbed preset (default: 8gpu)")
+    parser.add_argument("--preset", choices=["tiny", "bench", "paper"],
+                        default="bench", help="model scale (default: bench)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """``repro models``: list the model zoo with sizes."""
+    print(f"{'model':16s} {'ops':>6s} {'params':>10s} {'GFLOPs':>9s}")
+    for name in model_names():
+        graph = build_model(name, args.preset)
+        stats = graph.stats()
+        print(f"{name:16s} {stats['ops']:6.0f} "
+              f"{stats['param_bytes'] / 2 ** 20:8.1f}Mi "
+              f"{stats['total_flops'] / 1e9:9.1f}")
+    return 0
+
+
+def cmd_clusters(args: argparse.Namespace) -> int:  # noqa: ARG001
+    """``repro clusters``: show the testbed presets."""
+    for name, factory in CLUSTERS.items():
+        cluster = factory()
+        print(f"{name}: {cluster}")
+        for dev in cluster.devices:
+            print(f"  {dev.device_id}: {dev.spec.model} "
+                  f"({dev.memory_bytes / 2 ** 30:.0f} GB) on {dev.server}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """``repro plan``: run the strategy search for one model."""
+    from .experiments import ExperimentContext
+    from .reporting import describe_strategy
+    cluster = CLUSTERS[args.cluster]()
+    graph = build_model(args.model, args.preset)
+    print(f"searching strategy for {graph.name} on {cluster} "
+          f"({args.episodes} episodes)...", file=sys.stderr)
+    ctx = ExperimentContext(cluster, seed=args.seed)
+    measured = ctx.run_heterog(graph, episodes=args.episodes)
+    print(f"per-iteration time : {measured.display_time} s")
+    print(f"search time        : {measured.extras['search_seconds']:.1f} s")
+    print(describe_strategy(measured.strategy))
+    if args.save:
+        from .parallel.serialize import save_strategy
+        save_strategy(measured.strategy, args.save)
+        print(f"strategy saved to {args.save}")
+    return 0
+
+
+def cmd_baselines(args: argparse.Namespace) -> int:
+    """``repro baselines``: measure the four DP baselines."""
+    from .baselines import DP_BASELINES, dp_strategy
+    from .experiments import ExperimentContext, format_table
+    cluster = CLUSTERS[args.cluster]()
+    graph = build_model(args.model, args.preset)
+    ctx = ExperimentContext(cluster, seed=args.seed)
+    rows: List[List[str]] = []
+    for name in DP_BASELINES:
+        measured = ctx.measure(graph, dp_strategy(name, graph, cluster),
+                               name, use_order_scheduling=False)
+        rows.append([name, measured.display_time])
+    print(format_table(["Baseline", "Per-iteration (s)"], rows))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """``repro experiment``: regenerate one paper table/figure."""
+    from . import experiments as ex
+    name = args.name
+    if name == "table1":
+        rows = ex.per_iteration_table(cluster_8gpu(), 8,
+                                      include_large=args.large)
+        print(ex.render_per_iteration(rows))
+        print()
+        print(ex.strategy_mix_table(rows, cluster_8gpu()))
+    elif name == "table4":
+        rows = ex.per_iteration_table(cluster_12gpu(), 12,
+                                      include_large=args.large)
+        print(ex.render_per_iteration(rows))
+    elif name == "table5":
+        print(ex.render_end_to_end(ex.end_to_end_table()))
+    elif name == "table7":
+        print(ex.render_order_scheduling(
+            ex.order_scheduling_table(cluster_8gpu())))
+    elif name == "fig3a":
+        print(ex.render_fig3a(ex.fig3a_proportional_allocation()))
+    elif name == "fig3b":
+        print(ex.render_fig3b(ex.fig3b_op_speedups()))
+    elif name == "fig8":
+        print(ex.render_fig8(ex.fig8_time_breakdown()))
+    elif name == "fig9":
+        print(ex.render_fig9(ex.fig9_existing_schemes()))
+    else:  # pragma: no cover - argparse restricts choices
+        raise SystemExit(f"unknown experiment {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HeteroG reproduction (CoNEXT 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("models", help="list benchmark models")
+    _add_common(p)
+    p.set_defaults(func=cmd_models)
+
+    p = sub.add_parser("clusters", help="show cluster presets")
+    p.set_defaults(func=cmd_clusters)
+
+    p = sub.add_parser("plan", help="search a deployment strategy")
+    _add_common(p)
+    p.add_argument("model", choices=sorted(ALL_MODELS))
+    p.add_argument("--episodes", type=int, default=24)
+    p.add_argument("--save", metavar="PATH",
+                   help="save the strategy as JSON")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("baselines", help="measure the DP baselines")
+    _add_common(p)
+    p.add_argument("model", choices=sorted(ALL_MODELS))
+    p.set_defaults(func=cmd_baselines)
+
+    p = sub.add_parser("experiment", help="run one paper experiment")
+    p.add_argument("name", choices=["table1", "table4", "table5", "table7",
+                                    "fig3a", "fig3b", "fig8", "fig9"])
+    p.add_argument("--large", action="store_true",
+                   help="include the large-model OOM rows (slow)")
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""GPU device models.
+
+Per-device numbers are calibrated so that the *effective* compute-power
+ratio between Tesla V100 and GTX 1080Ti is roughly 2:1 — the ratio the
+paper measures on its testbed (Sec. 2.3) — while per-op-type speed-ups
+vary between ~1.1x and ~1.9x as in Fig. 3(b).  The variation emerges from
+a roofline-style cost model (see ``repro.profiling.cost_model``): small or
+memory-bound kernels are limited by memory bandwidth / launch overhead
+where the GPUs differ less; large compute-bound kernels see the full
+peak-FLOPs gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+GB = 1024 ** 3
+
+# Memory reserved by the CUDA context / cuDNN handles and therefore not
+# available to the training job (~0.5 GB on the paper's GPU generation).
+CUDA_RESERVED_BYTES = GB // 2
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static capabilities of one GPU model."""
+
+    model: str
+    memory_bytes: int
+    peak_flops: float          # effective sustainable FLOP/s for training
+    mem_bandwidth: float       # bytes/s
+    kernel_overhead: float     # seconds of fixed launch/dispatch cost per op
+    # multiplier on peak_flops per op class ("conv", "gemm", "elementwise",
+    # "reduce", "other"); models how well each architecture runs each class
+    class_efficiency: Dict[str, float] = field(default_factory=dict)
+
+    def efficiency(self, op_class: str) -> float:
+        return self.class_efficiency.get(op_class, 1.0)
+
+
+TESLA_V100 = GPUSpec(
+    model="Tesla V100",
+    memory_bytes=16 * GB,
+    peak_flops=7.8e12,
+    mem_bandwidth=900e9,
+    kernel_overhead=8e-6,
+    # Volta's cuDNN kernels extract near-peak throughput from forward
+    # convs; 1D convs and weight-gradient kernels utilize it less well;
+    # elementwise/reduce kernels are bandwidth-bound.  The class ratios
+    # between the V100 and 1080Ti tables are calibrated to Fig. 3(b):
+    # Conv2D ~1.9x, MatMul ~1.7x, Conv1D ~1.3x, BpFilter ~1.5x,
+    # BpInput ~1.8x at the 2:1 peak-FLOPs ratio.
+    class_efficiency={"conv": 0.95, "conv1d": 0.72, "conv_bp_filter": 0.79,
+                      "conv_bp_input": 0.90, "gemm": 0.88,
+                      "elementwise": 0.60, "reduce": 0.55, "other": 0.70},
+)
+
+GTX_1080TI = GPUSpec(
+    model="GTX 1080Ti",
+    memory_bytes=11 * GB,
+    peak_flops=3.9e12,
+    mem_bandwidth=484e9,
+    kernel_overhead=10e-6,
+    # Pascal consumer silicon: relatively strong on GEMM and 1D convs
+    # (high clocks), weaker on the fp16-path-optimized kernels it lacks.
+    class_efficiency={"conv": 1.00, "conv1d": 1.10, "conv_bp_filter": 1.05,
+                      "conv_bp_input": 1.00, "gemm": 1.04,
+                      "elementwise": 0.75, "reduce": 0.65, "other": 0.80},
+)
+
+TESLA_P100 = GPUSpec(
+    model="Tesla P100",
+    memory_bytes=12 * GB,
+    peak_flops=4.7e12,
+    mem_bandwidth=732e9,
+    kernel_overhead=9e-6,
+    class_efficiency={"conv": 0.97, "conv1d": 0.90, "conv_bp_filter": 0.92,
+                      "conv_bp_input": 0.95, "gemm": 0.92,
+                      "elementwise": 0.70, "reduce": 0.60, "other": 0.75},
+)
+
+GPU_MODELS: Dict[str, GPUSpec] = {
+    spec.model: spec for spec in (TESLA_V100, GTX_1080TI, TESLA_P100)
+}
+
+
+@dataclass(frozen=True)
+class Device:
+    """One concrete GPU in the cluster."""
+
+    device_id: str   # e.g. "gpu0"
+    server: str      # hosting machine, e.g. "server0"
+    spec: GPUSpec
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.spec.memory_bytes
+
+    @property
+    def usable_memory_bytes(self) -> int:
+        """Capacity available to the job (total minus CUDA reservation)."""
+        return self.spec.memory_bytes - CUDA_RESERVED_BYTES
+
+    @property
+    def compute_power(self) -> float:
+        """Scalar power used for proportional (CP) replica allocation."""
+        return self.spec.peak_flops
+
+    def __str__(self) -> str:
+        return f"{self.device_id}({self.spec.model}@{self.server})"

@@ -1,0 +1,151 @@
+"""Cluster topology: servers, devices, and the link fabric between them."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import PlacementError
+from .device import Device, GPUSpec
+from .link import LOOPBACK, NVLINK, PCIE3, Link, LinkSpec
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """One physical machine hosting GPUs behind a NIC."""
+
+    name: str
+    gpu_spec: GPUSpec
+    num_gpus: int
+    nic: LinkSpec
+    intra_link: LinkSpec = PCIE3  # NVLink on the V100 box, PCIe elsewhere
+
+
+class Cluster:
+    """The heterogeneous GPU cluster HeteroG deploys onto.
+
+    Responsible for: device enumeration (deterministic order — placement
+    actions index into it), pairwise link lookup, and compute-power ratios
+    for proportional replica allocation.
+    """
+
+    def __init__(self, servers: Sequence[ServerSpec],
+                 switch_bandwidth: float = 100e9 / 8):
+        if not servers:
+            raise PlacementError("cluster needs at least one server")
+        self.servers: List[ServerSpec] = list(servers)
+        self.switch_bandwidth = switch_bandwidth
+        self._devices: List[Device] = []
+        for server in self.servers:
+            for i in range(server.num_gpus):
+                dev_id = f"gpu{len(self._devices)}"
+                self._devices.append(Device(dev_id, server.name, server.gpu_spec))
+        self._by_id: Dict[str, Device] = {d.device_id: d for d in self._devices}
+        self._server_of: Dict[str, ServerSpec] = {
+            d.device_id: server
+            for server in self.servers
+            for d in self._devices
+            if d.server == server.name
+        }
+        self._links: Dict[Tuple[str, str], Link] = {}
+        for a in self._devices:
+            for b in self._devices:
+                self._links[(a.device_id, b.device_id)] = self._make_link(a, b)
+
+    # ------------------------------------------------------------------ #
+    def _make_link(self, a: Device, b: Device) -> Link:
+        if a.device_id == b.device_id:
+            return Link(a.device_id, b.device_id, LOOPBACK.bandwidth,
+                        LOOPBACK.latency, intra_server=True)
+        if a.server == b.server:
+            spec = self._server_of[a.device_id].intra_link
+            return Link(a.device_id, b.device_id, spec.bandwidth, spec.latency,
+                        intra_server=True)
+        nic_a = self._server_of[a.device_id].nic
+        nic_b = self._server_of[b.device_id].nic
+        bandwidth = min(nic_a.bandwidth, nic_b.bandwidth, self.switch_bandwidth)
+        latency = nic_a.latency + nic_b.latency
+        return Link(a.device_id, b.device_id, bandwidth, latency,
+                    intra_server=False)
+
+    # ------------------------------------------------------------------ #
+    @property
+    def devices(self) -> List[Device]:
+        return list(self._devices)
+
+    @property
+    def device_ids(self) -> List[str]:
+        return [d.device_id for d in self._devices]
+
+    @property
+    def num_devices(self) -> int:
+        return len(self._devices)
+
+    def device(self, device_id: str) -> Device:
+        try:
+            return self._by_id[device_id]
+        except KeyError:
+            raise PlacementError(f"unknown device {device_id!r}") from None
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise PlacementError(f"unknown link {src!r} -> {dst!r}") from None
+
+    def links(self) -> List[Link]:
+        return [l for l in self._links.values() if l.src != l.dst]
+
+    def same_server(self, a: str, b: str) -> bool:
+        return self.device(a).server == self.device(b).server
+
+    def devices_on_server(self, server: str) -> List[Device]:
+        return [d for d in self._devices if d.server == server]
+
+    def server_names(self) -> List[str]:
+        return [s.name for s in self.servers]
+
+    # ------------------------------------------------------------------ #
+    def compute_powers(self) -> Dict[str, float]:
+        return {d.device_id: d.compute_power for d in self._devices}
+
+    def relative_powers(self) -> Dict[str, float]:
+        """Powers normalized so the weakest device is 1.0."""
+        powers = self.compute_powers()
+        weakest = min(powers.values())
+        return {k: v / weakest for k, v in powers.items()}
+
+    def proportional_shares(self, device_ids: Optional[Iterable[str]] = None
+                            ) -> Dict[str, float]:
+        """Fractions of a batch per device, proportional to compute power."""
+        ids = list(device_ids) if device_ids is not None else self.device_ids
+        total = sum(self.device(d).compute_power for d in ids)
+        return {d: self.device(d).compute_power / total for d in ids}
+
+    def min_memory(self) -> int:
+        return min(d.memory_bytes for d in self._devices)
+
+    def subcluster(self, device_ids: Sequence[str]) -> "Cluster":
+        """A cluster view restricted to ``device_ids`` (keeps servers/links).
+
+        Used for the paper's 8-GPU vs 12-GPU experiments on one testbed.
+        """
+        keep = set(device_ids)
+        unknown = keep - set(self.device_ids)
+        if unknown:
+            raise PlacementError(f"unknown devices {sorted(unknown)}")
+        per_server: Dict[str, int] = {}
+        for dev in self._devices:
+            if dev.device_id in keep:
+                per_server[dev.server] = per_server.get(dev.server, 0) + 1
+        specs = [
+            ServerSpec(s.name, s.gpu_spec, per_server[s.name], s.nic, s.intra_link)
+            for s in self.servers if per_server.get(s.name)
+        ]
+        return Cluster(specs, self.switch_bandwidth)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        per = ", ".join(
+            f"{s.name}:{s.num_gpus}x{s.gpu_spec.model}" for s in self.servers
+        )
+        return f"Cluster({per})"

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the HeteroG reproduction."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed computation graphs (cycles, dangling edges, ...)."""
+
+
+class PlacementError(ReproError):
+    """Raised when a strategy references an unknown device or is inconsistent."""
+
+
+class CompileError(ReproError):
+    """Raised when the graph compiler cannot apply a strategy."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator reaches an invalid state."""
+
+
+class OutOfMemoryError(SimulationError):
+    """Raised (or recorded) when a device exceeds its memory capacity.
+
+    The strategy framework usually *records* OOM instead of raising, so the
+    RL agent can penalize the strategy; the execution engine raises it when
+    asked to run an infeasible deployment for real.
+    """
+
+    def __init__(self, device: str, required: int, capacity: int):
+        self.device = device
+        self.required = required
+        self.capacity = capacity
+        super().__init__(
+            f"device {device} out of memory: "
+            f"needs {required} bytes, capacity {capacity} bytes"
+        )
+
+
+class ProfilingError(ReproError):
+    """Raised when the profiler cannot produce a prediction."""
+
+
+class StrategyError(ReproError):
+    """Raised for invalid strategy encodings or action vectors."""

@@ -1,0 +1,35 @@
+"""Benchmark DNN model zoo (op-level training graphs)."""
+
+from .bert import build_bert_large
+from .inception import build_inception_v3
+from .mobilenet import build_mobilenet_v2
+from .nasnet import build_nasnet
+from .registry import (
+    ALL_MODELS,
+    CNN_MODELS,
+    ModelEntry,
+    build_model,
+    get_model_entry,
+    model_names,
+)
+from .resnet import build_resnet
+from .transformer import build_transformer
+from .vgg import build_vgg19
+from .xlnet import build_xlnet_large
+
+__all__ = [
+    "ALL_MODELS",
+    "CNN_MODELS",
+    "ModelEntry",
+    "build_model",
+    "get_model_entry",
+    "model_names",
+    "build_vgg19",
+    "build_resnet",
+    "build_inception_v3",
+    "build_mobilenet_v2",
+    "build_nasnet",
+    "build_transformer",
+    "build_bert_large",
+    "build_xlnet_large",
+]

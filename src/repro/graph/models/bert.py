@@ -1,0 +1,61 @@
+"""BERT-large (Devlin et al., 2018) training-graph builder.
+
+24 transformer layers, hidden 1024, 16 heads, plus the 30k-word embedding
+table whose gradients HeteroG keeps on a single device (Table 2's MP
+column).  The 48-layer variant reproduces the paper's large-model rows.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..dag import ComputationGraph
+from ..op import TensorSpec
+from .common import finish
+from .transformer import transformer_layer
+
+BERT_VOCAB = 30522
+
+
+def build_bert_large(
+    batch_size: int = 48,
+    layers: int = 24,
+    *,
+    seq_len: int = 128,
+    hidden: int = 1024,
+    heads: int = 16,
+    ffn: int = 4096,
+    vocab: int = BERT_VOCAB,
+    name: str | None = None,
+) -> ComputationGraph:
+    """BERT-large training graph (layers/seq/hidden configurable)."""
+    b = GraphBuilder(name or f"bert_large_{layers}l", batch_size)
+    tokens = b.input((seq_len,), name="tokens")
+    x = b.embedding(tokens, vocab, hidden, layer="word_embedding")
+    # segment + position embeddings, added in
+    pos = b.add(
+        "Embedding",
+        TensorSpec((batch_size, seq_len, hidden)),
+        [tokens],
+        name="position_embedding",
+        flops=float(batch_size * seq_len * hidden),
+        param_bytes=(512 + 2) * hidden * 4,
+        layer="pos_embedding",
+    )
+    x = b.add_n([x, pos], layer="embedding_sum")
+    x = b.layer_norm(x, layer="embedding_ln")
+    for i in range(layers):
+        x = transformer_layer(b, x, hidden, heads, ffn, layer=f"layer{i}")
+    # masked-LM head: dense + output projection to vocab
+    x = b.dense(x, hidden, layer="mlm_transform")
+    x = b.activation(x, kind="Gelu", layer="mlm_act")
+    logits = b.dense(x, vocab, layer="mlm_projection")
+    pooled = b.add(
+        "Mean",
+        TensorSpec((batch_size, vocab)),
+        [logits],
+        name="pooled_logits",
+        flops=float(b.graph.op(logits).output.num_elements),
+        layer="loss",
+    )
+    b.softmax_loss(pooled, vocab)
+    return finish(b)

@@ -1,0 +1,57 @@
+"""Inception-v3 (Szegedy et al., 2016) training-graph builder.
+
+Inception's multi-branch cells give the DAG genuine width, exercising the
+scheduler's ability to overlap independent branches on different devices.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..dag import ComputationGraph
+from .common import IMAGENET_CLASSES, classifier_head, conv_bn_relu, finish
+
+
+def _inception_cell(b: GraphBuilder, src: str, channels: int, layer: str) -> str:
+    branch1 = conv_bn_relu(b, src, channels, kernel=1, layer=f"{layer}_b1x1")
+
+    branch2 = conv_bn_relu(b, src, channels, kernel=1, layer=f"{layer}_b3_reduce")
+    branch2 = conv_bn_relu(b, branch2, channels, kernel=3, layer=f"{layer}_b3")
+
+    branch3 = conv_bn_relu(b, src, channels // 2, kernel=1,
+                           layer=f"{layer}_b5_reduce")
+    branch3 = conv_bn_relu(b, branch3, channels, kernel=5, layer=f"{layer}_b5")
+
+    branch4 = b.pool(src, stride=1, kind="AvgPool", layer=f"{layer}_pool")
+    branch4 = conv_bn_relu(b, branch4, channels, kernel=1,
+                           layer=f"{layer}_pool_proj")
+
+    return b.concat([branch1, branch2, branch3, branch4], layer=f"{layer}_concat")
+
+
+def build_inception_v3(
+    batch_size: int = 192,
+    *,
+    image_size: int = 299,
+    cells: int = 11,
+    classes: int = IMAGENET_CLASSES,
+    name: str = "inception_v3",
+) -> ComputationGraph:
+    """Build Inception-v3; ``cells`` controls the number of mixed cells
+    (11 in the reference network: 5x 35x35, 4x 17x17, 2x 8x8)."""
+    b = GraphBuilder(name, batch_size)
+    x = b.input((image_size, image_size, 3))
+    x = conv_bn_relu(b, x, 32, kernel=3, stride=2, layer="stem0")
+    x = conv_bn_relu(b, x, 64, kernel=3, layer="stem1")
+    x = b.pool(x, layer="stem_pool0")
+    x = conv_bn_relu(b, x, 192, kernel=3, layer="stem2")
+    x = b.pool(x, layer="stem_pool1")
+
+    channels = 64
+    for cell in range(cells):
+        x = _inception_cell(b, x, channels, layer=f"mixed{cell}")
+        # reduce spatial resolution roughly every third of the network
+        if cell in (cells // 3, 2 * cells // 3):
+            x = b.pool(x, layer=f"reduce{cell}")
+            channels *= 2
+    classifier_head(b, x, classes)
+    return finish(b)

@@ -1,0 +1,63 @@
+"""MobileNet-v2 (Sandler et al., 2018) training-graph builder.
+
+MobileNet's inverted-residual blocks are compute-light but op-dense, so
+communication overhead dominates — the regime where the paper reports the
+largest relative benefit from even replica allocation (Table 2: EV-AR is
+the majority strategy).
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..dag import ComputationGraph
+from .common import IMAGENET_CLASSES, classifier_head, conv_bn_relu, finish
+
+# (expansion, out_channels, repeats, stride) per stage — the v2 plan.
+_V2_PLAN = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(b: GraphBuilder, src: str, expansion: int,
+                       out_channels: int, stride: int, layer: str) -> str:
+    in_channels = b.graph.op(src).output.shape[-1]
+    x = src
+    if expansion != 1:
+        x = conv_bn_relu(b, x, in_channels * expansion, kernel=1,
+                         layer=f"{layer}_expand")
+    x = conv_bn_relu(b, x, in_channels * expansion, kernel=3, stride=stride,
+                     layer=f"{layer}_dw", depthwise=True)
+    x = b.conv2d(x, out_channels, kernel=1, layer=f"{layer}_project")
+    x = b.batch_norm(x, layer=f"{layer}_project")
+    if stride == 1 and in_channels == out_channels:
+        x = b.add_n([x, src], layer=f"{layer}_residual")
+    return x
+
+
+def build_mobilenet_v2(
+    batch_size: int = 192,
+    *,
+    image_size: int = 224,
+    classes: int = IMAGENET_CLASSES,
+    width: float = 1.0,
+    name: str = "mobilenet_v2",
+) -> ComputationGraph:
+    """MobileNet-v2 training graph (inverted residual blocks)."""
+    b = GraphBuilder(name, batch_size)
+    x = b.input((image_size, image_size, 3))
+    x = conv_bn_relu(b, x, int(32 * width), kernel=3, stride=2, layer="stem")
+    for stage, (expansion, channels, repeats, stride) in enumerate(_V2_PLAN):
+        for i in range(repeats):
+            x = _inverted_residual(
+                b, x, expansion, int(channels * width),
+                stride if i == 0 else 1, layer=f"s{stage}_b{i}",
+            )
+    x = conv_bn_relu(b, x, int(1280 * width), kernel=1, layer="head_conv")
+    classifier_head(b, x, classes)
+    return finish(b)

@@ -1,0 +1,80 @@
+"""NasNet (Zoph et al., 2018) training-graph builder.
+
+NasNet cells are wide, irregular DAGs with many small ops — the hardest
+case for schedulers (the paper's Table 7 shows the largest order-scheduling
+variance on op-dense models).  We reproduce the normal/reduction cell
+structure with separable convolutions and multi-branch combines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..builder import GraphBuilder
+from ..dag import ComputationGraph
+from .common import IMAGENET_CLASSES, classifier_head, conv_bn_relu, finish
+
+
+def _separable(b: GraphBuilder, src: str, channels: int, kernel: int,
+               stride: int, layer: str) -> str:
+    x = conv_bn_relu(b, src, channels, kernel=kernel, stride=stride,
+                     layer=f"{layer}_dw", depthwise=True)
+    return conv_bn_relu(b, x, channels, kernel=1, layer=f"{layer}_pw")
+
+
+def _normal_cell(b: GraphBuilder, prev: str, cur: str, channels: int,
+                 layer: str) -> str:
+    """NasNet-A normal cell: 5 pairwise combines over {prev, cur}."""
+    combines: List[str] = []
+    combines.append(b.add_n(
+        [_separable(b, cur, channels, 3, 1, f"{layer}_c0a"),
+         _separable(b, cur, channels, 5, 1, f"{layer}_c0b")],
+        layer=f"{layer}_c0",
+    ))
+    combines.append(b.add_n(
+        [_separable(b, prev, channels, 3, 1, f"{layer}_c1a"),
+         _separable(b, cur, channels, 5, 1, f"{layer}_c1b")],
+        layer=f"{layer}_c1",
+    ))
+    pooled = b.pool(cur, stride=1, kind="AvgPool", layer=f"{layer}_c2pool")
+    pooled = conv_bn_relu(b, pooled, channels, kernel=1, layer=f"{layer}_c2proj")
+    combines.append(b.add_n(
+        [pooled, _separable(b, prev, channels, 3, 1, f"{layer}_c2b")],
+        layer=f"{layer}_c2",
+    ))
+    combines.append(_separable(b, prev, channels, 3, 1, f"{layer}_c3"))
+    combines.append(_separable(b, cur, channels, 3, 1, f"{layer}_c4"))
+    return b.concat(combines, layer=f"{layer}_concat")
+
+
+def build_nasnet(
+    batch_size: int = 192,
+    *,
+    image_size: int = 224,
+    cells_per_stage: int = 4,
+    stages: int = 3,
+    channels: int = 44,
+    classes: int = IMAGENET_CLASSES,
+    name: str = "nasnet",
+) -> ComputationGraph:
+    """NasNet-A training graph (normal cells with separable convs)."""
+    b = GraphBuilder(name, batch_size)
+    x = b.input((image_size, image_size, 3))
+    x = conv_bn_relu(b, x, 32, kernel=3, stride=2, layer="stem")
+    prev = x
+    for stage in range(stages):
+        for cell in range(cells_per_stage):
+            nxt = _normal_cell(b, prev, x, channels,
+                               layer=f"s{stage}_cell{cell}")
+            # project prev to keep concat shapes aligned next round
+            prev, x = x, nxt
+            x = conv_bn_relu(b, x, channels, kernel=1,
+                             layer=f"s{stage}_cell{cell}_squeeze")
+            prev = conv_bn_relu(b, prev, channels, kernel=1,
+                                layer=f"s{stage}_cell{cell}_prevproj")
+        if stage != stages - 1:
+            x = b.pool(x, layer=f"s{stage}_reduce")
+            prev = b.pool(prev, layer=f"s{stage}_reduce_prev")
+            channels *= 2
+    classifier_head(b, x, classes)
+    return finish(b)

@@ -1,0 +1,141 @@
+"""Registry of benchmark models with paper / bench / tiny presets.
+
+The paper evaluates 8 model families.  Each entry maps a canonical name to
+a builder plus keyword presets:
+
+- ``paper``: faithful depth/width (ResNet-200, 24-layer BERT, ...).  Large
+  graphs (hundreds to thousands of ops) — used by the full experiment
+  harness when time allows.
+- ``bench``: same architecture family at reduced depth so the benchmark
+  suite regenerates every table/figure in minutes on CPU.  Relative model
+  characteristics (param-heavy VGG fc layers, op-dense NasNet, comm-bound
+  Transformer) are preserved.
+- ``tiny``: minimal instances for unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from ...errors import GraphError
+from ..dag import ComputationGraph
+from .bert import build_bert_large
+from .inception import build_inception_v3
+from .mobilenet import build_mobilenet_v2
+from .nasnet import build_nasnet
+from .resnet import build_resnet
+from .transformer import build_transformer
+from .vgg import build_vgg19
+from .xlnet import build_xlnet_large
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One registered model family with its builder and presets."""
+    name: str
+    builder: Callable[..., ComputationGraph]
+    paper: Dict[str, object] = field(default_factory=dict)
+    bench: Dict[str, object] = field(default_factory=dict)
+    tiny: Dict[str, object] = field(default_factory=dict)
+
+    def build(self, preset: str = "bench", **overrides) -> ComputationGraph:
+        presets = {"paper": self.paper, "bench": self.bench, "tiny": self.tiny}
+        if preset not in presets:
+            raise GraphError(f"unknown preset {preset!r} for model {self.name}")
+        kwargs = dict(presets[preset])
+        kwargs.update(overrides)
+        return self.builder(**kwargs)
+
+
+_REGISTRY: Dict[str, ModelEntry] = {}
+
+
+def _register(entry: ModelEntry) -> None:
+    _REGISTRY[entry.name] = entry
+
+
+_register(ModelEntry(
+    "vgg19", build_vgg19,
+    paper={"batch_size": 192, "image_size": 112},
+    bench={"batch_size": 192, "image_size": 112},
+    tiny={"batch_size": 8, "image_size": 32, "fc_units": 64, "classes": 10},
+))
+_register(ModelEntry(
+    "resnet200", build_resnet,
+    paper={"batch_size": 192, "depth": 200, "image_size": 112},
+    bench={"batch_size": 192, "depth": 50, "image_size": 128,
+           "name": "resnet200"},
+    tiny={"batch_size": 8, "depth": 50, "image_size": 32, "classes": 10},
+))
+_register(ModelEntry(
+    "inception_v3", build_inception_v3,
+    paper={"batch_size": 192, "image_size": 149},
+    bench={"batch_size": 192, "cells": 6, "image_size": 149},
+    tiny={"batch_size": 8, "cells": 2, "image_size": 64, "classes": 10},
+))
+_register(ModelEntry(
+    "mobilenet_v2", build_mobilenet_v2,
+    paper={"batch_size": 192, "image_size": 112},
+    bench={"batch_size": 192, "image_size": 112},
+    tiny={"batch_size": 8, "image_size": 32, "classes": 10, "width": 0.5},
+))
+_register(ModelEntry(
+    "nasnet", build_nasnet,
+    paper={"batch_size": 192, "cells_per_stage": 6, "image_size": 96,
+           "channels": 32},
+    bench={"batch_size": 192, "cells_per_stage": 2, "image_size": 96,
+           "channels": 32},
+    tiny={"batch_size": 8, "cells_per_stage": 1, "stages": 2,
+          "image_size": 32, "channels": 16, "classes": 10},
+))
+_register(ModelEntry(
+    "transformer", build_transformer,
+    paper={"batch_size": 720, "layers": 6, "seq_len": 96},
+    bench={"batch_size": 720, "layers": 6, "seq_len": 32, "hidden": 512},
+    tiny={"batch_size": 16, "layers": 2, "seq_len": 8, "hidden": 64,
+          "heads": 2, "ffn": 128, "vocab": 1000},
+))
+_register(ModelEntry(
+    "bert_large", build_bert_large,
+    paper={"batch_size": 48, "layers": 24, "seq_len": 192},
+    bench={"batch_size": 48, "layers": 8, "seq_len": 64,
+           "name": "bert_large_24l"},
+    tiny={"batch_size": 8, "layers": 2, "seq_len": 8, "hidden": 64,
+          "heads": 2, "ffn": 128, "vocab": 1000},
+))
+_register(ModelEntry(
+    "xlnet_large", build_xlnet_large,
+    paper={"batch_size": 48, "layers": 24, "seq_len": 192},
+    bench={"batch_size": 48, "layers": 8, "seq_len": 64,
+           "name": "xlnet_large_24l"},
+    tiny={"batch_size": 8, "layers": 2, "seq_len": 8, "hidden": 64,
+          "heads": 2, "ffn": 128, "vocab": 1000},
+))
+
+# The five CNN models of Fig. 3(a) / Table 5.
+CNN_MODELS: List[str] = [
+    "vgg19", "resnet200", "inception_v3", "mobilenet_v2", "nasnet",
+]
+# All 8 families of the per-iteration experiments.
+ALL_MODELS: List[str] = CNN_MODELS + ["transformer", "bert_large", "xlnet_large"]
+
+
+def model_names() -> List[str]:
+    """Names of all registered benchmark models."""
+    return list(_REGISTRY)
+
+
+def get_model_entry(name: str) -> ModelEntry:
+    """Look up a registry entry; raises GraphError for unknown names."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise GraphError(
+            f"unknown model {name!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def build_model(name: str, preset: str = "bench", **overrides) -> ComputationGraph:
+    """Build a registered benchmark model's full training graph."""
+    return get_model_entry(name).build(preset, **overrides)

@@ -1,0 +1,70 @@
+"""ResNet (He et al., 2016) training-graph builder with bottleneck blocks.
+
+``build_resnet(depth=200)`` reproduces the ResNet-200 configuration used in
+the paper's evaluation; smaller depths (50, 101) are available for tests
+and scaled-down benchmark runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ...errors import GraphError
+from ..builder import GraphBuilder
+from ..dag import ComputationGraph
+from .common import IMAGENET_CLASSES, classifier_head, conv_bn_relu
+
+# blocks per stage for the standard bottleneck ResNets
+_BLOCK_PLANS: Dict[int, Tuple[int, int, int, int]] = {
+    50: (3, 4, 6, 3),
+    101: (3, 4, 23, 3),
+    152: (3, 8, 36, 3),
+    200: (3, 24, 36, 3),
+}
+
+
+def _bottleneck(b: GraphBuilder, src: str, channels: int, stride: int,
+                layer: str, project: bool) -> str:
+    x = conv_bn_relu(b, src, channels, kernel=1, stride=1, layer=f"{layer}_a")
+    x = conv_bn_relu(b, x, channels, kernel=3, stride=stride, layer=f"{layer}_b")
+    x = b.conv2d(x, channels * 4, kernel=1, stride=1, layer=f"{layer}_c")
+    x = b.batch_norm(x, layer=f"{layer}_c")
+    shortcut = src
+    if project:
+        shortcut = b.conv2d(src, channels * 4, kernel=1, stride=stride,
+                            layer=f"{layer}_proj")
+        shortcut = b.batch_norm(shortcut, layer=f"{layer}_proj")
+    x = b.add_n([x, shortcut], layer=f"{layer}_add")
+    return b.activation(x, layer=f"{layer}_add")
+
+
+def build_resnet(
+    batch_size: int = 192,
+    depth: int = 200,
+    *,
+    image_size: int = 224,
+    classes: int = IMAGENET_CLASSES,
+    name: str | None = None,
+) -> ComputationGraph:
+    """Bottleneck ResNet training graph (depth in {50, 101, 152, 200})."""
+    if depth not in _BLOCK_PLANS:
+        raise GraphError(
+            f"unsupported resnet depth {depth}; choose from {sorted(_BLOCK_PLANS)}"
+        )
+    plan = _BLOCK_PLANS[depth]
+    b = GraphBuilder(name or f"resnet{depth}", batch_size)
+    x = b.input((image_size, image_size, 3))
+    x = conv_bn_relu(b, x, 64, kernel=7, stride=2, layer="stem")
+    x = b.pool(x, layer="stem_pool")
+    channels = 64
+    for stage, num_blocks in enumerate(plan):
+        for block in range(num_blocks):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            x = _bottleneck(
+                b, x, channels, stride,
+                layer=f"s{stage}_b{block}", project=(block == 0),
+            )
+        channels *= 2
+    classifier_head(b, x, classes)
+    from .common import finish
+    return finish(b)

@@ -1,0 +1,51 @@
+"""VGG-19 (Simonyan & Zisserman, 2014) training-graph builder.
+
+VGG's defining trait for HeteroG is its enormous fully-connected layers:
+the fc parameters dominate gradient traffic, which is why the paper's
+Table 2 shows HeteroG placing the last fc ops on a single GPU (MP) to
+eliminate their gradient aggregation.
+"""
+
+from __future__ import annotations
+
+from ..builder import GraphBuilder
+from ..dag import ComputationGraph
+from .common import IMAGENET_CLASSES, conv_bn_relu, finish
+
+# Channel plan of VGG-19: (num_convs, channels) per stage.
+_VGG19_STAGES = ((2, 64), (2, 128), (4, 256), (4, 512), (4, 512))
+
+
+def build_vgg19(
+    batch_size: int = 192,
+    *,
+    image_size: int = 224,
+    fc_units: int = 4096,
+    classes: int = IMAGENET_CLASSES,
+    name: str = "vgg19",
+) -> ComputationGraph:
+    """VGG-19 training graph with its full-size fc6/fc7 layers."""
+    b = GraphBuilder(name, batch_size)
+    x = b.input((image_size, image_size, 3))
+    for stage, (num_convs, channels) in enumerate(_VGG19_STAGES):
+        for i in range(num_convs):
+            x = conv_bn_relu(b, x, channels, layer=f"stage{stage}_conv{i}")
+        x = b.pool(x, layer=f"stage{stage}_pool")
+    # flatten (keep all spatial features: the fc6 weight matrix is the
+    # model's defining 100M-parameter block)
+    spec = b.graph.op(x).output
+    from ..op import TensorSpec
+    flat = b.add(
+        "Reshape",
+        TensorSpec((batch_size, spec.num_elements // batch_size)),
+        [x],
+        name="flatten",
+        flops=0.0,
+        layer="head",
+    )
+    x = b.dense(flat, fc_units, layer="fc6")
+    x = b.activation(x, layer="fc6")
+    x = b.dense(x, fc_units, layer="fc7")
+    x = b.activation(x, layer="fc7")
+    b.softmax_loss(x, classes)
+    return finish(b)

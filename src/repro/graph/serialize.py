@@ -1,0 +1,111 @@
+"""Graphdef-style JSON serialization of computation graphs.
+
+The paper's Graph Analyzer consumes TensorFlow's ``graphdef``; this module
+provides the equivalent portable representation for our IR so graphs can
+be exported, versioned, and re-imported (e.g. to hand a profiled graph to
+a remote strategy-search service).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from ..errors import GraphError
+from .dag import ComputationGraph
+from .op import Operation, OpPhase, TensorSpec
+
+FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: ComputationGraph) -> Dict[str, Any]:
+    """Portable dict representation (stable field order, JSON-safe)."""
+    nodes: List[Dict[str, Any]] = []
+    for op in graph:
+        nodes.append({
+            "name": op.name,
+            "op_type": op.op_type,
+            "shape": list(op.output.shape),
+            "batch_dim": op.output.batch_dim,
+            "flops": op.flops,
+            "param_bytes": op.param_bytes,
+            "phase": op.phase.value,
+            "layer": op.layer,
+            "attrs": dict(op.attrs),
+            "forward_ref": op.forward_ref,
+            "batch_scaled": bool(op.batch_scaled),
+            "inputs": graph.predecessors(op.name),
+        })
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": graph.name,
+        "nodes": nodes,
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> ComputationGraph:
+    """Rebuild a ComputationGraph from its portable dict form."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise GraphError(
+            f"unsupported graphdef format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        graph = ComputationGraph(data["name"])
+        for node in data["nodes"]:
+            op = Operation(
+                name=node["name"],
+                op_type=node["op_type"],
+                output=TensorSpec(tuple(node["shape"]), node["batch_dim"]),
+                flops=float(node["flops"]),
+                param_bytes=int(node["param_bytes"]),
+                phase=OpPhase(node["phase"]),
+                layer=node.get("layer"),
+                attrs=dict(node.get("attrs", {})),
+                forward_ref=node.get("forward_ref"),
+                batch_scaled=node.get("batch_scaled"),
+            )
+            graph.add_op(op, node.get("inputs", []))
+    except KeyError as missing:
+        raise GraphError(f"graphdef missing field {missing}") from None
+    graph.validate()
+    return graph
+
+
+def save_graph(graph: ComputationGraph, path: str) -> None:
+    """Write a graph to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(graph_to_dict(graph), fh, indent=1)
+
+
+def load_graph(path: str) -> ComputationGraph:
+    """Read a graph from a JSON file written by :func:`save_graph`."""
+    with open(path) as fh:
+        return graph_from_dict(json.load(fh))
+
+
+def graph_to_dot(graph: ComputationGraph, max_nodes: int = 500) -> str:
+    """Graphviz DOT export (phases colour-coded), for inspection."""
+    colors = {
+        OpPhase.INPUT: "lightgrey",
+        OpPhase.FORWARD: "lightblue",
+        OpPhase.LOSS: "gold",
+        OpPhase.BACKWARD: "lightsalmon",
+        OpPhase.APPLY: "lightgreen",
+    }
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    for i, op in enumerate(graph):
+        if i >= max_nodes:
+            lines.append(f'  "..." [label="(+{len(graph) - max_nodes} more)"];')
+            break
+        lines.append(
+            f'  "{op.name}" [label="{op.name}\\n{op.op_type}", '
+            f'style=filled, fillcolor={colors[op.phase]}];'
+        )
+    kept = set(graph.op_names[:max_nodes])
+    for src, dst in graph.edges():
+        if src in kept and dst in kept:
+            lines.append(f'  "{src}" -> "{dst}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,93 @@
+"""The HeteroG facade: Graph Analyzer -> Strategy Maker -> Graph Compiler.
+
+Ties the whole pipeline of Fig. 4 together for one (graph, cluster)
+pair: profile, build the agent, run the strategy search, compile the
+best strategy, schedule it, and hand back a runnable deployment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from .agent.agent import HeteroGAgent
+from .cluster.topology import Cluster
+from .config import HeteroGConfig
+from .graph.analyzer import GraphAnalysis, GraphAnalyzer
+from .graph.dag import ComputationGraph
+from .parallel.strategy import Strategy
+from .profiling.measurements import MeasurementNoise
+from .profiling.profiler import Profile, Profiler
+from .runtime.deployment import Deployment, make_deployment
+from .runtime.execution_engine import ExecutionEngine
+from .runtime.runner import DistributedRunner
+
+
+class HeteroG:
+    """One strategy-search session for a single DNN graph."""
+
+    def __init__(self, cluster: Cluster,
+                 config: Optional[HeteroGConfig] = None):
+        self.cluster = cluster
+        self.config = config or HeteroGConfig()
+        agent_config = dataclasses.replace(
+            self.config.agent,
+            use_order_scheduling=self.config.use_order_scheduling,
+            seed=self.config.seed,
+        )
+        self.agent = HeteroGAgent(cluster, agent_config)
+        self._analysis: Optional[GraphAnalysis] = None
+
+    # ------------------------------------------------------------------ #
+    def analyze(self, graph: ComputationGraph) -> GraphAnalysis:
+        """Run the Graph Analyzer (Sec. 3.2)."""
+        self._analysis = GraphAnalyzer().analyze(graph)
+        return self._analysis
+
+    def profile(self, graph: ComputationGraph) -> Profile:
+        """Run the Profiler (Sec. 3.3)."""
+        return Profiler(
+            noise=MeasurementNoise(self.config.profile_noise_sigma),
+            seed=self.config.seed,
+        ).profile(graph, self.cluster)
+
+    # ------------------------------------------------------------------ #
+    def plan(self, graph: ComputationGraph,
+             profile: Optional[Profile] = None,
+             episodes: Optional[int] = None) -> Strategy:
+        """Search for the best deployment strategy for ``graph``."""
+        self.analyze(graph)
+        if profile is None:
+            profile = self.profile(graph)
+        ctx = self.agent.add_graph(graph, profile)
+        self.agent.train(episodes if episodes is not None
+                         else self.config.episodes)
+        return self.agent.best_strategy(ctx.name)
+
+    def deploy(self, graph: ComputationGraph,
+               strategy: Optional[Strategy] = None,
+               profile: Optional[Profile] = None) -> Deployment:
+        """Compile + schedule a strategy (searching one if not given)."""
+        if strategy is None:
+            strategy = self.plan(graph, profile)
+            profile = self.agent.profile(graph.name)
+        if profile is None:
+            profile = self.profile(graph)
+        ctx_groups = None
+        try:
+            ctx_groups = self.agent.context(graph.name).grouping.group_of
+        except Exception:
+            ctx_groups = None
+        return make_deployment(
+            graph, self.cluster, strategy, profile=profile,
+            use_order_scheduling=self.config.use_order_scheduling,
+            group_of=ctx_groups,
+        )
+
+    def runner(self, deployment: Deployment) -> DistributedRunner:
+        engine = ExecutionEngine(
+            self.cluster,
+            jitter_sigma=self.config.engine_jitter_sigma,
+            seed=self.config.seed + 1,
+        )
+        return DistributedRunner(deployment, engine)

@@ -1,0 +1,311 @@
+"""Differentiable operations for the autodiff engine."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast, make_op
+
+
+def add(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise addition with numpy broadcasting."""
+    data = a.data + b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad, b.shape))
+
+    return make_op(data, (a, b), backward)
+
+
+def mul(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise multiplication with numpy broadcasting."""
+    data = a.data * b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad * b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(grad * a.data, b.shape))
+
+    return make_op(data, (a, b), backward)
+
+
+def div(a: Tensor, b: Tensor) -> Tensor:
+    """Elementwise division."""
+    data = a.data / b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(_unbroadcast(grad / b.data, a.shape))
+        if b.requires_grad:
+            b._accumulate(_unbroadcast(-grad * a.data / (b.data ** 2), b.shape))
+
+    return make_op(data, (a, b), backward)
+
+
+def scale(a: Tensor, factor: float) -> Tensor:
+    """Multiply a tensor by a python scalar."""
+    data = a.data * factor
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * factor)
+
+    return make_op(data, (a,), backward)
+
+
+def matmul(a: Tensor, b: Tensor) -> Tensor:
+    """Matrix product (batched via numpy @ semantics)."""
+    data = a.data @ b.data
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            ga = grad @ np.swapaxes(b.data, -1, -2)
+            a._accumulate(_unbroadcast(ga, a.shape))
+        if b.requires_grad:
+            gb = np.swapaxes(a.data, -1, -2) @ grad
+            b._accumulate(_unbroadcast(gb, b.shape))
+
+    return make_op(data, (a, b), backward)
+
+
+def relu(a: Tensor) -> Tensor:
+    """max(x, 0)."""
+    mask = a.data > 0
+    data = a.data * mask
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * mask)
+
+    return make_op(data, (a,), backward)
+
+
+def leaky_relu(a: Tensor, alpha: float = 0.2) -> Tensor:
+    """x if x > 0 else alpha * x (the GAT attention nonlinearity)."""
+    mask = a.data > 0
+    data = np.where(mask, a.data, alpha * a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * np.where(mask, 1.0, alpha))
+
+    return make_op(data, (a,), backward)
+
+
+def elu(a: Tensor, alpha: float = 1.0) -> Tensor:
+    """Exponential linear unit."""
+    mask = a.data > 0
+    exp_part = alpha * (np.exp(np.minimum(a.data, 0.0)) - 1.0)
+    data = np.where(mask, a.data, exp_part)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * np.where(mask, 1.0, exp_part + alpha))
+
+    return make_op(data, (a,), backward)
+
+
+def tanh(a: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    data = np.tanh(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * (1.0 - data ** 2))
+
+    return make_op(data, (a,), backward)
+
+
+def exp(a: Tensor) -> Tensor:
+    """Elementwise exponential."""
+    data = np.exp(a.data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * data)
+
+    return make_op(data, (a,), backward)
+
+
+def log(a: Tensor, eps: float = 1e-12) -> Tensor:
+    """Elementwise natural log (stabilized with eps)."""
+    data = np.log(a.data + eps)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad / (a.data + eps))
+
+    return make_op(data, (a,), backward)
+
+
+def gelu(a: Tensor) -> Tensor:
+    """tanh-approximation GELU."""
+    c = np.sqrt(2.0 / np.pi)
+    inner = c * (a.data + 0.044715 * a.data ** 3)
+    t = np.tanh(inner)
+    data = 0.5 * a.data * (1.0 + t)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            dt = (1.0 - t ** 2) * c * (1.0 + 3 * 0.044715 * a.data ** 2)
+            a._accumulate(grad * (0.5 * (1.0 + t) + 0.5 * a.data * dt))
+
+    return make_op(data, (a,), backward)
+
+
+def sum(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:  # noqa: A001
+    """Sum over axis (or all elements)."""
+    data = a.data.sum(axis=axis, keepdims=keepdims)
+
+    def backward(grad: np.ndarray) -> None:
+        if not a.requires_grad:
+            return
+        g = grad
+        if axis is not None and not keepdims:
+            g = np.expand_dims(g, axis=axis)
+        a._accumulate(np.broadcast_to(g, a.shape).copy())
+
+    return make_op(data, (a,), backward)
+
+
+def mean(a: Tensor, axis=None, keepdims: bool = False) -> Tensor:
+    """Mean over axis (or all elements)."""
+    if axis is None:
+        count = a.data.size
+    elif isinstance(axis, tuple):
+        count = int(np.prod([a.shape[ax] for ax in axis]))
+    else:
+        count = a.shape[axis]
+    return scale(sum(a, axis=axis, keepdims=keepdims), 1.0 / count)
+
+
+def reshape(a: Tensor, shape: Sequence[int]) -> Tensor:
+    """View with a new shape."""
+    original = a.shape
+    data = a.data.reshape(shape)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad.reshape(original))
+
+    return make_op(data, (a,), backward)
+
+
+def transpose(a: Tensor, axes: Optional[Sequence[int]] = None) -> Tensor:
+    """Permute axes (reverse when axes is None)."""
+    data = np.transpose(a.data, axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(np.transpose(grad, inverse))
+
+    return make_op(data, (a,), backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = -1) -> Tensor:
+    """Concatenate tensors along an axis."""
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad: np.ndarray) -> None:
+        for i, t in enumerate(tensors):
+            if not t.requires_grad:
+                continue
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(offsets[i], offsets[i + 1])
+            t._accumulate(grad[tuple(index)])
+
+    return make_op(data, tuple(tensors), backward)
+
+
+def masked_fill(a: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Where ``mask`` is True keep ``a``; elsewhere substitute ``value``
+    (no gradient flows to substituted positions)."""
+    data = np.where(mask, a.data, value)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * mask)
+
+    return make_op(data, (a,), backward)
+
+
+def softmax(a: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along an axis."""
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    data = e / e.sum(axis=axis, keepdims=True)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            dot = (grad * data).sum(axis=axis, keepdims=True)
+            a._accumulate(data * (grad - dot))
+
+    return make_op(data, (a,), backward)
+
+
+def log_softmax(a: Tensor, axis: int = -1) -> Tensor:
+    """Numerically-stable log-softmax along an axis."""
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    logsum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    data = shifted - logsum
+    soft = np.exp(data)
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad - soft * grad.sum(axis=axis, keepdims=True))
+
+    return make_op(data, (a,), backward)
+
+
+def layer_norm(a: Tensor, gain: Tensor, bias: Tensor,
+               eps: float = 1e-5) -> Tensor:
+    """LayerNorm over the last axis."""
+    mu = a.data.mean(axis=-1, keepdims=True)
+    var = a.data.var(axis=-1, keepdims=True)
+    inv = 1.0 / np.sqrt(var + eps)
+    norm = (a.data - mu) * inv
+    data = norm * gain.data + bias.data
+    dim = a.shape[-1]
+
+    def backward(grad: np.ndarray) -> None:
+        if gain.requires_grad:
+            gain._accumulate(
+                _unbroadcast(grad * norm, gain.shape)
+            )
+        if bias.requires_grad:
+            bias._accumulate(_unbroadcast(grad, bias.shape))
+        if a.requires_grad:
+            gnorm = grad * gain.data
+            term1 = gnorm
+            term2 = gnorm.mean(axis=-1, keepdims=True)
+            term3 = norm * (gnorm * norm).mean(axis=-1, keepdims=True)
+            a._accumulate(inv * (term1 - term2 - term3))
+
+    return make_op(data, (a, gain, bias), backward)
+
+
+def dropout(a: Tensor, rate: float, rng: Optional[np.random.Generator],
+            training: bool) -> Tensor:
+    """Inverted dropout (identity when not training)."""
+    if not training or rate <= 0.0 or rng is None:
+        return a
+    keep = 1.0 - rate
+    mask = (rng.random(a.shape) < keep) / keep
+
+    def backward(grad: np.ndarray) -> None:
+        if a.requires_grad:
+            a._accumulate(grad * mask)
+
+    return make_op(a.data * mask, (a,), backward)

@@ -1,0 +1,89 @@
+"""Optimizers for the policy networks."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+class Optimizer:
+    """Base optimizer: parameter list + gradient clipping."""
+    def __init__(self, params: List[Tensor]):
+        if not params:
+            raise ValueError("optimizer received no parameters")
+        self.params = params
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _clip(self, max_norm: Optional[float]) -> None:
+        if max_norm is None:
+            return
+        total = 0.0
+        for p in self.params:
+            if p.grad is not None:
+                total += float((p.grad ** 2).sum())
+        norm = np.sqrt(total)
+        if norm > max_norm and norm > 0:
+            factor = max_norm / norm
+            for p in self.params:
+                if p.grad is not None:
+                    p.grad = p.grad * factor
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum."""
+    def __init__(self, params: List[Tensor], lr: float = 0.01,
+                 momentum: float = 0.0, clip_norm: Optional[float] = None):
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.clip_norm = clip_norm
+        self._velocity = [np.zeros_like(p.data) for p in params]
+
+    def step(self) -> None:
+        self._clip(self.clip_norm)
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            v *= self.momentum
+            v += p.grad
+            p.data = p.data - self.lr * v
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+    def __init__(self, params: List[Tensor], lr: float = 1e-3,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 clip_norm: Optional[float] = None):
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p.data) for p in params]
+        self._v = [np.zeros_like(p.data) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._clip(self.clip_norm)
+        self._t += 1
+        bc1 = 1.0 - self.beta1 ** self._t
+        bc2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            m *= self.beta1
+            m += (1 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * (p.grad ** 2)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            p.data = p.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

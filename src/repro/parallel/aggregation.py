@@ -1,0 +1,144 @@
+"""Gradient-aggregation structures: PS and ring/hierarchical AllReduce.
+
+Cost formulas follow the standard alpha-beta model the paper's Rust
+simulator uses:
+
+- ring AllReduce over n devices: ``2(n-1)/n * bytes / min_bw``
+  plus ``2(n-1)`` per-step latencies;
+- hierarchical AllReduce: reduce inside each server, ring across server
+  leaders, broadcast back inside each server ("aggregates gradients among
+  GPUs on the same physical server first and then across servers");
+- the better of the two is selected per collective (Sec. 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.topology import Cluster
+from ..errors import CompileError
+
+# (src, dst) -> (bandwidth bytes/s, latency s); provided by either the
+# profiler's regressions or the ground-truth link specs.
+LinkLookup = Callable[[str, str], Tuple[float, float]]
+
+# Fixed cost of launching one NCCL collective (kernel launch, stream
+# synchronization, rendezvous across ranks).  Paid once per AllReduce on
+# top of the per-step ring latencies; this is what makes AllReduce
+# latency-bound for models with hundreds of small gradients.
+NCCL_LAUNCH_OVERHEAD = 200e-6
+
+
+def cluster_link_lookup(cluster: Cluster) -> LinkLookup:
+    """LinkLookup backed by the cluster's ground-truth link specs."""
+    def lookup(src: str, dst: str) -> Tuple[float, float]:
+        link = cluster.link(src, dst)
+        return link.bandwidth, link.latency
+    return lookup
+
+
+def _ring_links(devices: Sequence[str]) -> List[Tuple[str, str]]:
+    n = len(devices)
+    return [(devices[i], devices[(i + 1) % n]) for i in range(n)]
+
+
+def ring_allreduce_time(devices: Sequence[str], size_bytes: float,
+                        lookup: LinkLookup) -> float:
+    """Time for one ring AllReduce of ``size_bytes`` over ``devices``."""
+    n = len(devices)
+    if n < 2:
+        return 0.0
+    min_bw = float("inf")
+    max_lat = 0.0
+    for src, dst in _ring_links(devices):
+        bw, lat = lookup(src, dst)
+        min_bw = min(min_bw, bw)
+        max_lat = max(max_lat, lat)
+    steps = 2 * (n - 1)
+    return (NCCL_LAUNCH_OVERHEAD + steps * (size_bytes / n) / min_bw
+            + steps * max_lat)
+
+
+def hierarchical_allreduce_time(devices: Sequence[str], size_bytes: float,
+                                lookup: LinkLookup, cluster: Cluster) -> float:
+    """Reduce-inside-server, ring-across-leaders, broadcast-back."""
+    by_server: Dict[str, List[str]] = {}
+    for d in devices:
+        by_server.setdefault(cluster.device(d).server, []).append(d)
+    # intra-server reduce (and the final broadcast, same cost)
+    intra = 0.0
+    for group in by_server.values():
+        if len(group) >= 2:
+            intra = max(intra, ring_allreduce_time(group, size_bytes, lookup))
+    leaders = [group[0] for group in by_server.values()]
+    inter = ring_allreduce_time(leaders, size_bytes, lookup)
+    return intra + inter
+
+
+def choose_allreduce(devices: Sequence[str], size_bytes: float,
+                     lookup: LinkLookup, cluster: Cluster
+                     ) -> Tuple[bool, float]:
+    """Pick ring vs hierarchical; returns (hierarchical?, est_time)."""
+    if len(devices) < 2:
+        raise CompileError("allreduce needs at least 2 devices")
+    ring = ring_allreduce_time(devices, size_bytes, lookup)
+    servers = {cluster.device(d).server for d in devices}
+    if len(servers) < 2 or len(servers) == len(devices):
+        return False, ring
+    hier = hierarchical_allreduce_time(devices, size_bytes, lookup, cluster)
+    if hier < ring:
+        return True, hier
+    return False, ring
+
+
+def allreduce_time(devices: Sequence[str], size_bytes: float,
+                   lookup: LinkLookup, cluster: Cluster,
+                   hierarchical: bool) -> float:
+    """Time of one AllReduce under the chosen (ring/hierarchical) structure."""
+    if hierarchical:
+        return hierarchical_allreduce_time(devices, size_bytes, lookup, cluster)
+    return ring_allreduce_time(devices, size_bytes, lookup)
+
+
+def choose_ps_device(devices: Sequence[str], size_bytes: float,
+                     lookup: LinkLookup,
+                     load: Optional[Dict[str, float]] = None) -> str:
+    """PS device choice: the replica device minimizing estimated push+pull
+    completion time (Sec. 3.4 — the PS is colocated with one replica, so
+    traffic to/from that device is eliminated).
+
+    ``load`` carries bytes already assigned to each candidate's PS role by
+    earlier gradients; the completion estimate charges the backlog queued
+    on the candidate's access links.  This spreads parameters across PS
+    devices exactly like TensorFlow's round-robin variable placement —
+    without it every gradient would pick the same best-connected device
+    and its NIC would serialize all synchronization ("the links to
+    parameter servers may become the bottlenecks", Sec. 2.3).
+    """
+    if not devices:
+        raise CompileError("PS aggregation needs at least one device")
+    load = load if load is not None else {}
+    best_dev = devices[0]
+    best_time = float("inf")
+    for candidate in devices:
+        total = 0.0
+        slowest_in = float("inf")
+        for other in devices:
+            if other == candidate:
+                continue
+            push_bw, push_lat = lookup(other, candidate)
+            pull_bw, pull_lat = lookup(candidate, other)
+            slowest_in = min(slowest_in, push_bw, pull_bw)
+            total += size_bytes / push_bw + push_lat
+            total += size_bytes / pull_bw + pull_lat
+        if devices and slowest_in < float("inf"):
+            # backlog of earlier gradients already parked on this PS:
+            # pushes and pulls must drain through the same access links
+            total += 2.0 * load.get(candidate, 0.0) * (len(devices) - 1) \
+                / slowest_in
+        if total < best_time:
+            best_time = total
+            best_dev = candidate
+    if load is not None:
+        load[best_dev] = load.get(best_dev, 0.0) + size_bytes
+    return best_dev

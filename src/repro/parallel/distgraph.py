@@ -1,0 +1,193 @@
+"""The distributed training graph produced by the Graph Compiler.
+
+Nodes are :class:`DistOp` instances: compute ops pinned to a GPU, and
+communication ops pinned to one or more links ("we further treat a link
+between two GPUs as a device", Sec. 4.2).  Durations are *not* stored on
+the nodes — a cost provider (the Strategy Maker's profile-based simulator,
+or the ground-truth execution engine) computes them, so the same compiled
+graph serves both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..errors import CompileError
+from ..graph.op import Operation
+
+NCCL_RESOURCE = "nccl"
+
+
+class DistOpKind(enum.Enum):
+    """Node kinds of the distributed training graph."""
+    COMPUTE = "compute"        # replica of an original op
+    SPLIT = "split"            # batch re-partitioning (compute, tiny)
+    CONCAT = "concat"          # batch gathering (compute, tiny)
+    TRANSFER = "transfer"      # tensor over one directed link
+    ALLREDUCE = "allreduce"    # NCCL collective over a ring of links
+    AGGREGATE = "aggregate"    # PS-side gradient sum (compute)
+    APPLY = "apply"            # parameter update (compute)
+
+
+_COMPUTE_KINDS = frozenset({
+    DistOpKind.COMPUTE, DistOpKind.SPLIT, DistOpKind.CONCAT,
+    DistOpKind.AGGREGATE, DistOpKind.APPLY,
+})
+
+
+@dataclass
+class DistOp:
+    """One node of the distributed training DAG."""
+
+    name: str
+    kind: DistOpKind
+    source_op: Optional[Operation] = None  # original op (compute/apply)
+    device: Optional[str] = None           # compute kinds
+    src_device: Optional[str] = None       # transfer
+    dst_device: Optional[str] = None       # transfer
+    devices: Tuple[str, ...] = ()          # allreduce participants
+    size_bytes: float = 0.0                # comm payload / aux-op traffic
+    batch_fraction: float = 1.0            # compute share of the mini-batch
+    group: Optional[int] = None            # strategy group of the source op
+    hierarchical: bool = False             # allreduce structure
+    # additional exclusive resources (NIC send/recv ports for inter-server
+    # paths), filled in by the compiler which knows the topology
+    extra_resources: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind in _COMPUTE_KINDS and not self.device:
+            raise CompileError(f"{self.kind.value} op {self.name!r} needs a device")
+        if self.kind is DistOpKind.TRANSFER:
+            if not self.src_device or not self.dst_device:
+                raise CompileError(f"transfer {self.name!r} needs src and dst")
+            if self.src_device == self.dst_device:
+                raise CompileError(
+                    f"transfer {self.name!r} must cross devices"
+                )
+        if self.kind is DistOpKind.ALLREDUCE and len(self.devices) < 2:
+            raise CompileError(
+                f"allreduce {self.name!r} needs >=2 participants"
+            )
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_compute(self) -> bool:
+        return self.kind in _COMPUTE_KINDS
+
+    @property
+    def is_communication(self) -> bool:
+        return self.kind in (DistOpKind.TRANSFER, DistOpKind.ALLREDUCE)
+
+    def resources(self) -> Tuple[str, ...]:
+        """Exclusive resources this op occupies while executing."""
+        if self.is_compute:
+            return (self.device,)  # type: ignore[return-value]
+        if self.kind is DistOpKind.TRANSFER:
+            return (
+                f"link:{self.src_device}->{self.dst_device}",
+            ) + self.extra_resources
+        # AllReduce: the ring's directed links, plus the global NCCL token
+        # (NCCL cannot launch two collectives simultaneously, Sec. 6.2).
+        links = []
+        n = len(self.devices)
+        for i in range(n):
+            a, b = self.devices[i], self.devices[(i + 1) % n]
+            if a != b:
+                links.append(f"link:{a}->{b}")
+        return tuple(links) + self.extra_resources + (NCCL_RESOURCE,)
+
+
+class DistGraph:
+    """DAG of :class:`DistOp` nodes with dependency edges."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._ops: Dict[str, DistOp] = {}
+        self._succ: Dict[str, List[str]] = {}
+        self._pred: Dict[str, List[str]] = {}
+        # original op name -> its compute instances (per device)
+        self.instances: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------ #
+    def add(self, op: DistOp, deps: Sequence[str] = ()) -> DistOp:
+        if op.name in self._ops:
+            raise CompileError(f"duplicate dist-op name {op.name!r}")
+        self._ops[op.name] = op
+        self._succ[op.name] = []
+        self._pred[op.name] = []
+        for dep in deps:
+            self.add_edge(dep, op.name)
+        return op
+
+    def add_edge(self, src: str, dst: str) -> None:
+        if src not in self._ops or dst not in self._ops:
+            raise CompileError(f"edge references unknown dist-op: {src}->{dst}")
+        if dst in self._succ[src]:
+            return
+        self._succ[src].append(dst)
+        self._pred[dst].append(src)
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[DistOp]:
+        return iter(self._ops.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def op(self, name: str) -> DistOp:
+        try:
+            return self._ops[name]
+        except KeyError:
+            raise CompileError(f"unknown dist-op {name!r}") from None
+
+    @property
+    def op_names(self) -> List[str]:
+        return list(self._ops.keys())
+
+    def successors(self, name: str) -> List[str]:
+        return list(self._succ[name])
+
+    def predecessors(self, name: str) -> List[str]:
+        return list(self._pred[name])
+
+    def topological_order(self) -> List[str]:
+        indeg = {n: len(p) for n, p in self._pred.items()}
+        ready = [n for n in self._ops if indeg[n] == 0]
+        order: List[str] = []
+        head = 0
+        while head < len(ready):
+            node = ready[head]
+            head += 1
+            order.append(node)
+            for succ in self._succ[node]:
+                indeg[succ] -= 1
+                if indeg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self._ops):
+            raise CompileError(f"distributed graph {self.name!r} has a cycle")
+        return order
+
+    def validate(self) -> None:
+        self.topological_order()
+
+    # ------------------------------------------------------------------ #
+    def counts_by_kind(self) -> Dict[DistOpKind, int]:
+        out: Dict[DistOpKind, int] = {}
+        for op in self._ops.values():
+            out[op.kind] = out.get(op.kind, 0) + 1
+        return out
+
+    def communication_ops(self) -> List[DistOp]:
+        return [o for o in self._ops.values() if o.is_communication]
+
+    def compute_ops(self) -> List[DistOp]:
+        return [o for o in self._ops.values() if o.is_compute]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kinds = {k.value: v for k, v in self.counts_by_kind().items()}
+        return f"DistGraph({self.name!r}, {len(self._ops)} ops, {kinds})"

@@ -1,0 +1,102 @@
+"""JSON serialization of deployment strategies.
+
+A searched strategy is a valuable artifact (the paper's agent takes hours
+to converge); these helpers persist it so a deployment can be re-applied
+without re-running the search.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..cluster.topology import Cluster
+from ..errors import StrategyError
+from ..graph.dag import ComputationGraph
+from .strategy import (
+    CommMethod,
+    OpStrategy,
+    ParallelKind,
+    ReplicaAllocation,
+    Strategy,
+)
+
+FORMAT_VERSION = 1
+
+
+def _op_strategy_to_dict(st: OpStrategy) -> Dict[str, Any]:
+    if st.kind is ParallelKind.MP:
+        return {"kind": "mp", "device": st.device}
+    return {
+        "kind": "dp",
+        "replicas": dict(st.replicas),
+        "comm": st.comm.value,
+        "allocation": st.allocation.value if st.allocation else None,
+    }
+
+
+def _op_strategy_from_dict(data: Dict[str, Any]) -> OpStrategy:
+    kind = data.get("kind")
+    if kind == "mp":
+        return OpStrategy(ParallelKind.MP, device=data["device"])
+    if kind == "dp":
+        allocation = (ReplicaAllocation(data["allocation"])
+                      if data.get("allocation") else None)
+        return OpStrategy(
+            ParallelKind.DP,
+            replicas={str(k): int(v) for k, v in data["replicas"].items()},
+            comm=CommMethod(data["comm"]),
+            allocation=allocation,
+        )
+    raise StrategyError(f"unknown strategy kind {kind!r}")
+
+
+def strategy_to_dict(strategy: Strategy) -> Dict[str, Any]:
+    """Portable dict form of a Strategy."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "graph": strategy.graph.name,
+        "devices": strategy.cluster.device_ids,
+        "per_op": {
+            name: _op_strategy_to_dict(st) for name, st in strategy.items()
+        },
+    }
+
+
+def strategy_from_dict(data: Dict[str, Any], graph: ComputationGraph,
+                       cluster: Cluster) -> Strategy:
+    """Rebuild a Strategy; validates graph name and device list."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise StrategyError(
+            f"unsupported strategy format version "
+            f"{data.get('format_version')!r}"
+        )
+    if data.get("graph") != graph.name:
+        raise StrategyError(
+            f"strategy was saved for graph {data.get('graph')!r}, "
+            f"not {graph.name!r}"
+        )
+    saved_devices = data.get("devices", [])
+    if saved_devices != cluster.device_ids:
+        raise StrategyError(
+            f"strategy was saved for devices {saved_devices}, the cluster "
+            f"has {cluster.device_ids}"
+        )
+    per_op = {
+        name: _op_strategy_from_dict(st)
+        for name, st in data["per_op"].items()
+    }
+    return Strategy(graph, cluster, per_op)
+
+
+def save_strategy(strategy: Strategy, path: str) -> None:
+    """Write a strategy to a JSON file."""
+    with open(path, "w") as fh:
+        json.dump(strategy_to_dict(strategy), fh, indent=1)
+
+
+def load_strategy(path: str, graph: ComputationGraph,
+                  cluster: Cluster) -> Strategy:
+    """Read a strategy saved by save_strategy."""
+    with open(path) as fh:
+        return strategy_from_dict(json.load(fh), graph, cluster)

@@ -1,0 +1,89 @@
+"""Linear-regression predictors, as the paper's Profiler builds (Sec. 3.3).
+
+Two families:
+
+- :class:`OpTimeRegression` — per (operation, GPU model): execution time as
+  a linear function of the batch fraction, fitted on measurements at
+  representative batch sizes ("we build a linear regression model to
+  predict computation time of a specific operation at other batch sizes").
+- :class:`TransferTimeRegression` — per link: transfer time as a linear
+  function of tensor size ("record the transfer time and build a linear
+  regression model for transfer time prediction over each link").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ProfilingError
+
+
+def _fit_line(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float]:
+    """Weighted least-squares fit y = slope * x + intercept.
+
+    Measurement noise is multiplicative (kernel-time jitter is a
+    percentage, not an absolute), so residuals are weighted by 1/y:
+    without this, the intercept — microseconds of latency — would be
+    swamped by the absolute noise of the multi-millisecond large-size
+    samples and come out wildly wrong.
+    """
+    if len(xs) != len(ys) or len(xs) == 0:
+        raise ProfilingError("regression needs equal, non-empty x/y samples")
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if len(xs) == 1:
+        return 0.0, float(y[0])
+    weights = 1.0 / np.maximum(np.abs(y), 1e-12)
+    design = np.stack([x, np.ones_like(x)], axis=1) * weights[:, None]
+    coef, *_ = np.linalg.lstsq(design, y * weights, rcond=None)
+    return float(coef[0]), float(coef[1])
+
+
+@dataclass(frozen=True)
+class OpTimeRegression:
+    """time(batch_fraction) = slope * batch_fraction + intercept."""
+
+    slope: float
+    intercept: float
+
+    @classmethod
+    def fit(cls, fractions: Sequence[float], times: Sequence[float]
+            ) -> "OpTimeRegression":
+        slope, intercept = _fit_line(fractions, times)
+        return cls(slope, intercept)
+
+    def predict(self, batch_fraction: float) -> float:
+        if batch_fraction <= 0:
+            raise ProfilingError(
+                f"batch_fraction must be positive, got {batch_fraction}"
+            )
+        # physical floor: a kernel never runs in negative time
+        return max(1e-9, self.slope * batch_fraction + self.intercept)
+
+
+@dataclass(frozen=True)
+class TransferTimeRegression:
+    """time(bytes) = bytes / bandwidth + latency, fitted from samples."""
+
+    inv_bandwidth: float
+    latency: float
+
+    @classmethod
+    def fit(cls, sizes: Sequence[float], times: Sequence[float]
+            ) -> "TransferTimeRegression":
+        slope, intercept = _fit_line(sizes, times)
+        return cls(max(slope, 0.0), max(intercept, 0.0))
+
+    def predict(self, size_bytes: float) -> float:
+        if size_bytes < 0:
+            raise ProfilingError(f"negative transfer size {size_bytes}")
+        return self.latency + self.inv_bandwidth * size_bytes
+
+    @property
+    def bandwidth(self) -> float:
+        if self.inv_bandwidth <= 0:
+            return float("inf")
+        return 1.0 / self.inv_bandwidth

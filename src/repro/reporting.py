@@ -1,0 +1,108 @@
+"""Reporting utilities: schedule timelines, Gantt export, strategy diffs.
+
+These are inspection tools for the artifacts the pipeline produces: a
+text Gantt chart of one simulated iteration, a JSON trace in Chrome
+``chrome://tracing`` format, and summaries comparing two strategies.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+from .parallel.distgraph import DistGraph, DistOpKind
+from .parallel.strategy import Strategy
+from .simulation.metrics import SimulationResult
+
+
+def _resource_of(dist: DistGraph, name: str) -> str:
+    op = dist.op(name)
+    if op.is_compute:
+        return op.device  # type: ignore[return-value]
+    if op.kind is DistOpKind.TRANSFER:
+        return f"link {op.src_device}->{op.dst_device}"
+    return "nccl"
+
+
+def text_gantt(dist: DistGraph, result: SimulationResult, *,
+               width: int = 80, max_rows: int = 40,
+               only_devices: bool = True) -> str:
+    """ASCII Gantt chart of a traced simulation (run with ``trace=True``)."""
+    if not result.schedule:
+        raise ValueError("result has no trace; simulate with trace=True")
+    makespan = result.makespan or 1.0
+    rows: Dict[str, List[Tuple[float, float]]] = {}
+    for name, (start, end) in result.schedule.items():
+        resource = _resource_of(dist, name)
+        if only_devices and resource.startswith("link "):
+            continue
+        rows.setdefault(resource, []).append((start, end))
+
+    lines: List[str] = [f"0{' ' * (width - 12)}{makespan * 1e3:.2f} ms"]
+    for resource in sorted(rows)[:max_rows]:
+        cells = [" "] * width
+        for start, end in rows[resource]:
+            lo = int(start / makespan * (width - 1))
+            hi = max(lo + 1, int(end / makespan * (width - 1)))
+            for i in range(lo, min(hi, width)):
+                cells[i] = "#" if resource != "nccl" else "="
+        lines.append(f"{resource:>22s} |{''.join(cells)}|")
+    return "\n".join(lines)
+
+
+def chrome_trace(dist: DistGraph, result: SimulationResult) -> List[dict]:
+    """Events in Chrome tracing format (load via chrome://tracing)."""
+    if not result.schedule:
+        raise ValueError("result has no trace; simulate with trace=True")
+    events = []
+    for name, (start, end) in result.schedule.items():
+        op = dist.op(name)
+        events.append({
+            "name": name,
+            "cat": op.kind.value,
+            "ph": "X",
+            "ts": start * 1e6,
+            "dur": (end - start) * 1e6,
+            "pid": 0,
+            "tid": _resource_of(dist, name),
+        })
+    return events
+
+
+def save_chrome_trace(dist: DistGraph, result: SimulationResult,
+                      path: str) -> None:
+    """Write a chrome://tracing JSON file for a traced simulation."""
+    with open(path, "w") as fh:
+        json.dump({"traceEvents": chrome_trace(dist, result)}, fh)
+
+
+def strategy_diff(a: Strategy, b: Strategy) -> Dict[str, Tuple[str, str]]:
+    """Ops whose strategy label differs between two strategies."""
+    if a.graph is not b.graph and a.graph.name != b.graph.name:
+        raise ValueError("strategies cover different graphs")
+    out: Dict[str, Tuple[str, str]] = {}
+    for name in a.graph.op_names:
+        la, lb = a.get(name).label(), b.get(name).label()
+        if la != lb:
+            out[name] = (la, lb)
+    return out
+
+
+def describe_strategy(strategy: Strategy, top: int = 10) -> str:
+    """Human-readable strategy summary: mix + the heaviest MP placements."""
+    mix = strategy.strategy_mix()
+    lines = ["strategy mix:"]
+    for label, fraction in sorted(mix.items(), key=lambda kv: -kv[1]):
+        lines.append(f"  {label:12s} {fraction * 100:5.1f}%")
+    heavy: List[Tuple[int, str, str]] = []
+    for name in strategy.graph.op_names:
+        st = strategy.get(name)
+        op = strategy.graph.op(name)
+        if st.label().startswith("MP:") and op.param_bytes > 0:
+            heavy.append((op.param_bytes, name, st.label()))
+    if heavy:
+        heavy.sort(reverse=True)
+        lines.append("largest unreplicated (MP) parameter owners:")
+        for bytes_, name, label in heavy[:top]:
+            lines.append(f"  {name:40s} {bytes_ / 2 ** 20:8.1f} MiB  {label}")
+    return "\n".join(lines)

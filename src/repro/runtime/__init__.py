@@ -1,0 +1,22 @@
+"""Runtime: execution engine (testbed stand-in), deployments, runner."""
+
+from .deployment import Deployment, make_deployment
+from .execution_engine import ExecutionEngine, IterationStats
+from .runner import DistributedRunner, TrainingReport
+from .trainer_loop import (
+    SAMPLES_TO_TARGET,
+    ConvergenceModel,
+    end_to_end_minutes,
+)
+
+__all__ = [
+    "Deployment",
+    "make_deployment",
+    "ExecutionEngine",
+    "IterationStats",
+    "DistributedRunner",
+    "TrainingReport",
+    "ConvergenceModel",
+    "end_to_end_minutes",
+    "SAMPLES_TO_TARGET",
+]

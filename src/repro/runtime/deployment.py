@@ -1,0 +1,56 @@
+"""Deployment bundle: compiled graph + schedule + placement metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..cluster.topology import Cluster
+from ..graph.dag import ComputationGraph
+from ..parallel.compiler import GraphCompiler
+from ..parallel.distgraph import DistGraph
+from ..parallel.strategy import Strategy
+from ..profiling.profiler import Profile, Profiler
+from ..scheduling.list_scheduler import FifoScheduler, ListScheduler, Schedule
+from ..simulation.costs import ProfileCostModel
+
+
+@dataclass
+class Deployment:
+    """Everything needed to execute a strategy on the cluster."""
+
+    graph: ComputationGraph
+    cluster: Cluster
+    strategy: Strategy
+    dist: DistGraph
+    schedule: Schedule
+    resident_bytes: Dict[str, int]
+    profile: Profile
+
+    @property
+    def num_dist_ops(self) -> int:
+        return len(self.dist)
+
+
+def make_deployment(graph: ComputationGraph, cluster: Cluster,
+                    strategy: Strategy, *,
+                    profile: Optional[Profile] = None,
+                    use_order_scheduling: bool = True,
+                    group_of: Optional[Dict[str, int]] = None) -> Deployment:
+    """Compile + schedule a strategy into a runnable deployment."""
+    if profile is None:
+        profile = Profiler().profile(graph, cluster)
+    compiler = GraphCompiler(cluster, profile, group_of=group_of)
+    dist = compiler.compile(graph, strategy)
+    cost = ProfileCostModel(cluster, profile)
+    scheduler = ListScheduler() if use_order_scheduling else FifoScheduler()
+    schedule = scheduler.schedule(dist, cost)
+    return Deployment(
+        graph=graph,
+        cluster=cluster,
+        strategy=strategy,
+        dist=dist,
+        schedule=schedule,
+        resident_bytes=compiler.resident_bytes,
+        profile=profile,
+    )

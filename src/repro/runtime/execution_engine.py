@@ -1,0 +1,92 @@
+"""Ground-truth execution engine — the testbed stand-in.
+
+Runs a compiled deployment under :class:`TruthCostModel` (analytic costs
+with jitter and inter-server bandwidth discount).  All numbers reported
+by the experiment harness come from this engine, never from the Strategy
+Maker's profile-based simulator, so strategy search and evaluation use
+different cost models (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..cluster.topology import Cluster
+from ..errors import OutOfMemoryError
+from ..parallel.distgraph import DistGraph
+from ..scheduling.list_scheduler import Schedule
+from ..simulation.costs import TruthCostModel
+from ..simulation.engine import Simulator
+from ..simulation.metrics import SimulationResult
+
+
+@dataclass
+class IterationStats:
+    """Aggregate over measured training iterations."""
+
+    times: List[float] = field(default_factory=list)
+    last_result: Optional[SimulationResult] = None
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.times)) if self.times else float("nan")
+
+    @property
+    def std(self) -> float:
+        return float(np.std(self.times)) if self.times else float("nan")
+
+    @property
+    def iterations(self) -> int:
+        return len(self.times)
+
+
+class ExecutionEngine:
+    """Executes distributed training iterations on the modelled cluster."""
+
+    def __init__(self, cluster: Cluster, *, jitter_sigma: float = 0.04,
+                 interserver_discount: float = 0.92, seed: int = 1234):
+        self.cluster = cluster
+        self.cost = TruthCostModel(cluster, jitter_sigma=jitter_sigma,
+                                   interserver_discount=interserver_discount,
+                                   seed=seed)
+        self._simulator = Simulator(self.cost)
+        self.capacities = {d.device_id: d.usable_memory_bytes
+                           for d in cluster.devices}
+
+    def run_iteration(self, dist: DistGraph, schedule: Schedule,
+                      resident_bytes: Dict[str, int], *,
+                      check_memory: bool = True,
+                      trace: bool = False) -> SimulationResult:
+        """Execute one iteration; raises :class:`OutOfMemoryError` if a
+        device's peak usage exceeds its capacity (as the real run would)."""
+        result = self._simulator.run(
+            dist,
+            priorities=schedule.priorities,
+            resident_bytes=resident_bytes,
+            capacities=self.capacities,
+            trace=trace,
+        )
+        if check_memory and result.oom_devices:
+            worst = result.oom_devices[0]
+            raise OutOfMemoryError(
+                worst,
+                required=int(result.peak_memory[worst]),
+                capacity=self.capacities[worst],
+            )
+        return result
+
+    def measure(self, dist: DistGraph, schedule: Schedule,
+                resident_bytes: Dict[str, int], *, iterations: int = 10,
+                warmup: int = 1) -> IterationStats:
+        """Run ``warmup + iterations`` iterations; keep stats of the last
+        ``iterations`` (the paper averages over 500 real iterations)."""
+        stats = IterationStats()
+        for i in range(warmup + iterations):
+            result = self.run_iteration(dist, schedule, resident_bytes)
+            if i >= warmup:
+                stats.times.append(result.makespan)
+                stats.last_result = result
+        return stats

@@ -1,0 +1,23 @@
+"""Execution-order scheduling: ranks, list scheduler, FIFO, bounds."""
+
+from .bounds import (
+    WorstCaseInstance,
+    critical_path,
+    optimal_lower_bound,
+    total_work,
+    worst_case_instance,
+)
+from .list_scheduler import FifoScheduler, ListScheduler, Schedule
+from .ranking import compute_ranks
+
+__all__ = [
+    "ListScheduler",
+    "FifoScheduler",
+    "Schedule",
+    "compute_ranks",
+    "worst_case_instance",
+    "WorstCaseInstance",
+    "total_work",
+    "critical_path",
+    "optimal_lower_bound",
+]

@@ -1,0 +1,117 @@
+"""Rank-based list scheduling (paper Sec. 4.2) and the FIFO baseline.
+
+The Scheduler assigns every dist-op a priority derived from its upward
+rank; the execution engine then runs ready ops on each device/link in
+priority order.  ``TensorFlow``'s default behaviour — executing ops in the
+order they become ready — is the FIFO baseline of Table 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..parallel.distgraph import DistGraph
+from ..simulation.costs import CostProvider
+from .ranking import DEFAULT_COMM_WEIGHT, compute_ranks
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An execution-order decision: per-op priority (smaller runs first)."""
+
+    priorities: Optional[Dict[str, int]]  # None = engine-native FIFO
+    ranks: Optional[Dict[str, float]] = None
+    estimated_makespan: Optional[float] = None
+    chosen: Optional[str] = None  # which candidate order won
+
+    @property
+    def is_fifo(self) -> bool:
+        return self.priorities is None
+
+
+class ListScheduler:
+    """Computes the HeteroG execution order for a distributed graph.
+
+    Two candidate orders are evaluated in the Strategy Maker's simulator
+    and the better one is enforced:
+
+    - ``rank``: upward-rank priorities with communication inflated by
+      ``comm_weight`` — dominant when independent links (PS pushes/pulls)
+      carry the traffic and the critical path matters;
+    - ``earliest``: the emergent ready-arrival order, captured from a
+      simulation trace into a static order — dominant when a single
+      serialized resource (NCCL) is the bottleneck and collectives must
+      start as early as possible.
+
+    Both are schedules the paper's Scheduler could emit; simulating
+    candidates is exactly what its Simulator component is for (Sec. 3.3).
+    """
+
+    def __init__(self, comm_weight: float = DEFAULT_COMM_WEIGHT):
+        self.comm_weight = comm_weight
+
+    def _rank_priorities(self, graph: DistGraph, cost: CostProvider
+                         ) -> Dict[str, int]:
+        ranks = compute_ranks(graph, cost, comm_weight=self.comm_weight)
+        # higher rank -> runs earlier; ties broken by topological position
+        # for determinism (matching the engine's stable heap ordering)
+        topo_pos = {name: i for i, name in enumerate(graph.topological_order())}
+        ordered = sorted(
+            graph.op_names,
+            key=lambda n: (-ranks[n], topo_pos[n]),
+        )
+        self._last_ranks = ranks
+        return {name: i for i, name in enumerate(ordered)}
+
+    @staticmethod
+    def _trace_order(schedule_trace: Dict[str, tuple]) -> Dict[str, int]:
+        ordered = sorted(schedule_trace, key=lambda n: schedule_trace[n])
+        return {name: i for i, name in enumerate(ordered)}
+
+    def schedule(self, graph: DistGraph, cost: CostProvider) -> Schedule:
+        from ..simulation.engine import Simulator  # local: avoid cycle
+        simulator = Simulator(cost)
+        rank_priorities = self._rank_priorities(graph, cost)
+        rank_run = simulator.run(graph, priorities=rank_priorities)
+        earliest_run = simulator.run(graph, priorities=None, trace=True)
+        if rank_run.makespan <= earliest_run.makespan:
+            return Schedule(priorities=rank_priorities,
+                            ranks=self._last_ranks,
+                            estimated_makespan=rank_run.makespan,
+                            chosen="rank")
+        return Schedule(
+            priorities=self._trace_order(earliest_run.schedule),
+            ranks=self._last_ranks,
+            estimated_makespan=earliest_run.makespan,
+            chosen="earliest",
+        )
+
+
+class FifoScheduler:
+    """The framework's default execution order (no order enforcement).
+
+    TensorFlow's executor drains its ready queue with a thread pool, so
+    the order among simultaneously-ready ops is effectively arbitrary
+    and varies run to run.  We model it with seeded random priorities
+    (``randomize=True``, the default): among ready ops, an arbitrary one
+    starts first.  ``randomize=False`` gives strict ready-arrival order —
+    an idealized FIFO that is often unrealistically good, because the
+    compiler happens to enqueue gradient producers right before their
+    consumers.
+    """
+
+    def __init__(self, randomize: bool = True, seed: int = 0):
+        self.randomize = randomize
+        self.seed = seed
+
+    def schedule(self, graph: DistGraph,
+                 cost: Optional[CostProvider] = None) -> Schedule:
+        if not self.randomize:
+            return Schedule(priorities=None)
+        import numpy as np
+        rng = np.random.default_rng(self.seed)
+        names = graph.op_names
+        order = rng.permutation(len(names))
+        return Schedule(priorities={n: int(order[i])
+                                    for i, n in enumerate(names)})

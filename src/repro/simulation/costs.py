@@ -1,0 +1,170 @@
+"""Cost providers: map a :class:`DistOp` to an execution duration.
+
+Two implementations with deliberately different fidelity (see DESIGN.md):
+
+- :class:`ProfileCostModel` — what the Strategy Maker's simulator uses.
+  Durations come from the Profiler's fitted linear regressions, i.e. from
+  *predictions* (the paper trains the GNN against simulated rewards).
+- :class:`TruthCostModel` — what the execution engine ("the testbed")
+  uses.  Durations come from the analytic ground truth with multiplicative
+  log-normal jitter and a systematic inter-server bandwidth discount,
+  modelling effects the profiler's clean microbenchmarks miss.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Tuple
+
+import numpy as np
+
+from ..cluster.device import GPUSpec
+from ..cluster.topology import Cluster
+from ..errors import SimulationError
+from ..parallel.aggregation import allreduce_time
+from ..parallel.distgraph import DistOp, DistOpKind
+from ..profiling import cost_model
+from ..profiling.profiler import Profile
+
+
+# Per-transfer fixed cost of TensorFlow's rendezvous/executor path
+# (Send/Recv kernel pair, proto handling) paid by every point-to-point
+# tensor transfer — the PS push/pull path and MP activation routing.
+# NCCL collectives bypass it (fused launch, modelled separately via
+# NCCL_LAUNCH_OVERHEAD in repro.parallel.aggregation).  This constant is
+# what makes PS expensive for models with many small gradients (ResNet)
+# while staying cheap per byte for the few huge, spread-out tensors of
+# BERT-class models — the paper's Table 1 crossover.
+SENDRECV_OVERHEAD = 150e-6
+
+
+class CostProvider(Protocol):
+    """Interface the simulator uses to time dist-ops."""
+
+    def duration(self, op: DistOp) -> float: ...
+
+    def link_lookup(self, src: str, dst: str) -> Tuple[float, float]: ...
+
+
+def _aux_compute_time(spec: GPUSpec, traffic_bytes: float) -> float:
+    """Time of a memory-bound auxiliary op (Split/Concat/Aggregate)."""
+    return traffic_bytes / spec.mem_bandwidth + spec.kernel_overhead
+
+
+class _BaseCost:
+    """Shared plumbing for both cost providers."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    def _spec(self, device: str) -> GPUSpec:
+        return self.cluster.device(device).spec
+
+    def _allreduce(self, op: DistOp) -> float:
+        return allreduce_time(op.devices, op.size_bytes, self.link_lookup,
+                              self.cluster, op.hierarchical)
+
+    def link_lookup(self, src: str, dst: str) -> Tuple[float, float]:
+        raise NotImplementedError
+
+
+class ProfileCostModel(_BaseCost):
+    """Durations from the profiler's regression predictions."""
+
+    def __init__(self, cluster: Cluster, profile: Profile):
+        super().__init__(cluster)
+        self.profile = profile
+
+    def link_lookup(self, src: str, dst: str) -> Tuple[float, float]:
+        model = self.profile.link_models.get((src, dst))
+        if model is None:
+            link = self.cluster.link(src, dst)
+            return link.bandwidth, link.latency
+        return model.bandwidth, model.latency
+
+    def duration(self, op: DistOp) -> float:
+        if op.kind in (DistOpKind.COMPUTE, DistOpKind.APPLY):
+            assert op.source_op is not None and op.device is not None
+            return self.profile.op_time(op.source_op.name, op.device,
+                                        op.batch_fraction)
+        if op.kind in (DistOpKind.SPLIT, DistOpKind.CONCAT,
+                       DistOpKind.AGGREGATE):
+            assert op.device is not None
+            return _aux_compute_time(self._spec(op.device), op.size_bytes)
+        if op.kind is DistOpKind.TRANSFER:
+            return SENDRECV_OVERHEAD + self.profile.transfer_time(
+                op.src_device, op.dst_device, op.size_bytes)
+        if op.kind is DistOpKind.ALLREDUCE:
+            return self._allreduce(op)
+        raise SimulationError(f"cannot cost op kind {op.kind}")
+
+
+class MappingCostModel:
+    """Fixed per-op durations, for crafted instances (appendix worst case)
+    and deterministic unit tests."""
+
+    def __init__(self, durations: dict, default: Optional[float] = None):
+        self.durations = dict(durations)
+        self.default = default
+
+    def duration(self, op: DistOp) -> float:
+        if op.name in self.durations:
+            return float(self.durations[op.name])
+        if self.default is not None:
+            return float(self.default)
+        raise SimulationError(f"no duration registered for {op.name!r}")
+
+    def link_lookup(self, src: str, dst: str) -> Tuple[float, float]:
+        return float("inf"), 0.0
+
+
+class TruthCostModel(_BaseCost):
+    """Ground-truth durations with jitter — the stand-in for real hardware.
+
+    ``jitter_sigma`` is the log-normal sigma applied per execution;
+    ``interserver_discount`` scales down cross-machine bandwidth (switch
+    contention, protocol overhead) relative to what profiling measured.
+    """
+
+    def __init__(self, cluster: Cluster, jitter_sigma: float = 0.04,
+                 interserver_discount: float = 0.92,
+                 seed: Optional[int] = 1234):
+        super().__init__(cluster)
+        if not 0.0 < interserver_discount <= 1.0:
+            raise SimulationError(
+                f"interserver_discount must be in (0, 1], got "
+                f"{interserver_discount}"
+            )
+        self.jitter_sigma = jitter_sigma
+        self.interserver_discount = interserver_discount
+        self._rng = np.random.default_rng(seed)
+
+    def _jitter(self) -> float:
+        if self.jitter_sigma <= 0:
+            return 1.0
+        return float(self._rng.lognormal(0.0, self.jitter_sigma))
+
+    def link_lookup(self, src: str, dst: str) -> Tuple[float, float]:
+        link = self.cluster.link(src, dst)
+        bandwidth = link.bandwidth
+        if not link.intra_server:
+            bandwidth *= self.interserver_discount
+        return bandwidth, link.latency
+
+    def duration(self, op: DistOp) -> float:
+        return self._base_duration(op) * self._jitter()
+
+    def _base_duration(self, op: DistOp) -> float:
+        if op.kind in (DistOpKind.COMPUTE, DistOpKind.APPLY):
+            assert op.source_op is not None and op.device is not None
+            return cost_model.op_time(op.source_op, self._spec(op.device),
+                                      op.batch_fraction)
+        if op.kind in (DistOpKind.SPLIT, DistOpKind.CONCAT,
+                       DistOpKind.AGGREGATE):
+            assert op.device is not None
+            return _aux_compute_time(self._spec(op.device), op.size_bytes)
+        if op.kind is DistOpKind.TRANSFER:
+            bandwidth, latency = self.link_lookup(op.src_device, op.dst_device)
+            return SENDRECV_OVERHEAD + latency + op.size_bytes / bandwidth
+        if op.kind is DistOpKind.ALLREDUCE:
+            return self._allreduce(op)
+        raise SimulationError(f"cannot cost op kind {op.kind}")

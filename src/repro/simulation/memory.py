@@ -1,0 +1,108 @@
+"""Reference-counted memory tracking (paper Sec. 5).
+
+"The simulator also simulates memory allocation and releasing when
+executing an operation (using reference counting), and records the peak
+memory usage on each of the device."
+
+Accounting per device:
+
+- *resident* bytes: parameters + optimizer state, allocated for the whole
+  iteration (provided by the compiler);
+- *activation* bytes: a compute op's output is allocated when the op
+  starts and freed when its last consumer finishes; transfer buffers are
+  charged to the destination device the same way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import SimulationError
+from ..parallel.distgraph import DistGraph, DistOp, DistOpKind
+
+
+def output_bytes(op: DistOp) -> float:
+    """Bytes the op's output pins on its device (activation + the training
+    overheads folded into ``cost_model.ACTIVATION_OVERHEAD``)."""
+    if op.kind in (DistOpKind.COMPUTE, DistOpKind.APPLY):
+        if op.source_op is None:  # synthetic instances (crafted DAGs)
+            return 0.0
+        from ..profiling.cost_model import op_memory_bytes
+        return float(op_memory_bytes(op.source_op, op.batch_fraction))
+    if op.kind in (DistOpKind.SPLIT, DistOpKind.CONCAT, DistOpKind.AGGREGATE,
+                   DistOpKind.TRANSFER):
+        return float(op.size_bytes)
+    return 0.0  # allreduce works in place on the gradient buffers
+
+
+def charge_device(op: DistOp) -> Optional[str]:
+    """Device whose memory holds the op's output (None: no charge)."""
+    if op.is_compute:
+        return op.device
+    if op.kind is DistOpKind.TRANSFER:
+        return op.dst_device
+    return None
+
+
+class MemoryTracker:
+    """Tracks per-device memory while the simulator executes a DistGraph."""
+
+    def __init__(self, graph: DistGraph, resident_bytes: Dict[str, int]):
+        self.graph = graph
+        self.current: Dict[str, float] = {
+            d: float(b) for d, b in resident_bytes.items()
+        }
+        self.peak: Dict[str, float] = dict(self.current)
+        # refcount per producing op = number of successors yet to finish
+        self._refs: Dict[str, int] = {}
+        for name in graph.op_names:
+            self._refs[name] = len(graph.successors(name))
+
+    # ------------------------------------------------------------------ #
+    def on_start(self, op: DistOp) -> None:
+        device = charge_device(op)
+        if device is None:
+            return
+        size = output_bytes(op)
+        if size <= 0:
+            return
+        if device not in self.current:
+            self.current[device] = 0.0
+            self.peak[device] = 0.0
+        self.current[device] += size
+        if self.current[device] > self.peak[device]:
+            self.peak[device] = self.current[device]
+
+    def on_finish(self, op: DistOp) -> None:
+        # finishing `op` releases one reference on each of its inputs
+        for pred_name in self.graph.predecessors(op.name):
+            self._release(pred_name)
+        if self._refs[op.name] == 0:  # sink: nothing will ever consume it
+            self._free(self.graph.op(op.name))
+
+    def _release(self, producer_name: str) -> None:
+        refs = self._refs[producer_name]
+        if refs <= 0:
+            raise SimulationError(
+                f"refcount underflow on {producer_name!r}"
+            )
+        self._refs[producer_name] = refs - 1
+        if self._refs[producer_name] == 0:
+            self._free(self.graph.op(producer_name))
+
+    def _free(self, op: DistOp) -> None:
+        device = charge_device(op)
+        if device is None:
+            return
+        size = output_bytes(op)
+        if size <= 0:
+            return
+        self.current[device] -= size
+
+    # ------------------------------------------------------------------ #
+    def oom_devices(self, capacities: Dict[str, int]) -> List[str]:
+        """Devices whose peak usage exceeded their memory capacity."""
+        return [
+            d for d, peak in self.peak.items()
+            if d in capacities and peak > capacities[d]
+        ]

@@ -1,0 +1,76 @@
+"""Simulation results and derived metrics (per-iteration time, breakdowns)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+
+def union_length(intervals: List[Tuple[float, float]]) -> float:
+    """Total length of the union of (start, end) intervals."""
+    if not intervals:
+        return 0.0
+    intervals = sorted(intervals)
+    total = 0.0
+    cur_start, cur_end = intervals[0]
+    for start, end in intervals[1:]:
+        if start > cur_end:
+            total += cur_end - cur_start
+            cur_start, cur_end = start, end
+        else:
+            cur_end = max(cur_end, end)
+    total += cur_end - cur_start
+    return total
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of executing one distributed training iteration."""
+
+    makespan: float
+    # per-GPU total busy compute seconds
+    device_busy: Dict[str, float] = field(default_factory=dict)
+    # per-resource busy seconds for links
+    link_busy: Dict[str, float] = field(default_factory=dict)
+    # wall-clock during which >=1 communication op was in flight
+    communication_time: float = 0.0
+    # wall-clock during which >=1 GPU was computing
+    computation_wall: float = 0.0
+    peak_memory: Dict[str, float] = field(default_factory=dict)
+    oom_devices: List[str] = field(default_factory=list)
+    # op name -> (start, end); retained only when tracing is requested
+    schedule: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def oom(self) -> bool:
+        return bool(self.oom_devices)
+
+    @property
+    def computation_time(self) -> float:
+        """Max per-GPU busy compute time — the Fig. 8 'Computation' bar."""
+        if not self.device_busy:
+            return 0.0
+        return max(self.device_busy.values())
+
+    @property
+    def overlap_ratio(self) -> float:
+        """(computation + communication) / per-iteration time (Sec. 6.7);
+        > 1 indicates computation/communication overlap."""
+        if self.makespan <= 0:
+            return 0.0
+        return (self.computation_time + self.communication_time) / self.makespan
+
+    def utilization(self) -> Dict[str, float]:
+        """Per-GPU busy fraction of the iteration."""
+        if self.makespan <= 0:
+            return {d: 0.0 for d in self.device_busy}
+        return {d: b / self.makespan for d, b in self.device_busy.items()}
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "makespan": self.makespan,
+            "computation_time": self.computation_time,
+            "communication_time": self.communication_time,
+            "overlap_ratio": self.overlap_ratio,
+            "oom": float(self.oom),
+        }

@@ -1,0 +1,18 @@
+"""Shared test helpers (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+from repro.graph import GraphBuilder, build_training_graph
+from repro.graph.dag import ComputationGraph
+
+
+def make_mlp(batch_size: int = 8, layers: int = 3, width: int = 32,
+             name: str = "mlp") -> ComputationGraph:
+    """A small dense training graph used across tests."""
+    b = GraphBuilder(name, batch_size)
+    x = b.input((16,))
+    for i in range(layers):
+        x = b.dense(x, width, layer=f"fc{i}")
+        x = b.activation(x, layer=f"fc{i}")
+    b.softmax_loss(x, 10)
+    return build_training_graph(b)

@@ -1,0 +1,148 @@
+"""Tests for the REINFORCE trainer, agent facade, and seed candidates."""
+
+import numpy as np
+import pytest
+
+from repro.agent import AgentConfig, HeteroGAgent, seed_action_vectors
+from repro.agent.environment import StrategyEvaluator
+from repro.errors import StrategyError
+from repro.graph.grouping import group_operations
+from repro.parallel import single_device_strategy
+from repro.profiling import Profiler
+
+from tests.helpers import make_mlp
+
+SMALL = AgentConfig(max_groups=10, gat_hidden=16, gat_layers=2, gat_heads=2,
+                    strategy_dim=16, strategy_heads=2, strategy_layers=1,
+                    seed=0)
+
+
+@pytest.fixture(scope="module")
+def trained_agent(four_gpu):
+    agent = HeteroGAgent(four_gpu, SMALL)
+    agent.add_graph(make_mlp(name="train_mlp"))
+    agent.train(12)
+    return agent
+
+
+@pytest.fixture(scope="module")
+def four_gpu():
+    from repro.cluster import cluster_4gpu
+    return cluster_4gpu()
+
+
+class TestEvaluator:
+    def test_feasible_single_device(self, four_gpu):
+        g = make_mlp(name="eval_mlp")
+        profile = Profiler(seed=0).profile(g, four_gpu)
+        ev = StrategyEvaluator(g, four_gpu, profile)
+        outcome = ev.evaluate(single_device_strategy(g, four_gpu))
+        assert outcome.feasible
+        assert outcome.time > 0
+        assert outcome.dist_ops == len(g)
+
+    def test_order_scheduling_no_worse(self, four_gpu):
+        """Rank-order scheduling should not lose to FIFO on average."""
+        g = make_mlp(name="order_mlp", layers=4)
+        profile = Profiler(seed=0).profile(g, four_gpu)
+        st = single_device_strategy(g, four_gpu)
+        with_order = StrategyEvaluator(g, four_gpu, profile,
+                                       use_order_scheduling=True)
+        without = StrategyEvaluator(g, four_gpu, profile,
+                                    use_order_scheduling=False)
+        assert with_order.evaluate(st).time <= without.evaluate(st).time * 1.05
+
+
+class TestSeeds:
+    def test_seed_vectors_shape(self, four_gpu):
+        g = make_mlp(name="seed_mlp")
+        avg = {n: 1.0 for n in g.op_names}
+        grouping = group_operations(g, avg, 8)
+        seeds = seed_action_vectors(g, four_gpu, grouping)
+        assert len(seeds) >= 6
+        for vec in seeds:
+            assert vec.shape == (grouping.num_groups,)
+            assert (vec >= 0).all()
+            assert (vec < four_gpu.num_devices + 4).all()
+
+    def test_first_four_are_uniform_dp(self, four_gpu):
+        g = make_mlp(name="seed_mlp2")
+        grouping = group_operations(g, {n: 1.0 for n in g.op_names}, 8)
+        seeds = seed_action_vectors(g, four_gpu, grouping)
+        m = four_gpu.num_devices
+        for i in range(4):
+            assert (seeds[i] == m + i).all()
+
+    def test_ladder_uses_every_device_for_many_groups(self, four_gpu):
+        g = make_mlp(name="seed_mlp3", layers=6)
+        grouping = group_operations(g, {n: 1.0 for n in g.op_names}, 20)
+        seeds = seed_action_vectors(g, four_gpu, grouping)
+        ladder = seeds[4]  # memory-balanced MP ladder (after 4 DP seeds)
+        assert set(ladder.tolist()) == set(range(four_gpu.num_devices))
+
+
+class TestTrainer:
+    def test_best_strategy_feasible(self, trained_agent):
+        st = trained_agent.best_strategy("train_mlp")
+        assert st is not None
+        assert trained_agent.best_time("train_mlp") < float("inf")
+
+    def test_best_no_worse_than_uniform_baselines(self, trained_agent,
+                                                  four_gpu):
+        """Seeded exploration guarantees HeteroG >= best uniform DP in the
+        simulator (the paper's Table 1 invariant)."""
+        from repro.baselines import all_dp_strategies
+        ctx = trained_agent.context("train_mlp")
+        best = trained_agent.best_time("train_mlp")
+        for name, st in all_dp_strategies(ctx.graph, four_gpu).items():
+            outcome = ctx.evaluator.evaluate(st)
+            if outcome.feasible:
+                assert best <= outcome.time + 1e-9, name
+
+    def test_history_recorded(self, trained_agent):
+        ctx = trained_agent.context("train_mlp")
+        assert len(ctx.history) == 12
+        assert len(ctx.time_history) == 12
+
+    def test_episodes_to_reach(self, trained_agent):
+        trainer = trained_agent.trainer
+        best = trained_agent.best_time("train_mlp")
+        episodes = trainer.episodes_to_reach("train_mlp", best * 1.001)
+        assert episodes is not None
+        assert 1 <= episodes <= 12
+
+    def test_episodes_to_reach_unreachable(self, trained_agent):
+        assert trained_agent.trainer.episodes_to_reach("train_mlp", 0.0) is None
+
+    def test_policy_state_roundtrip(self, trained_agent, four_gpu):
+        state = trained_agent.policy_state()
+        fresh = HeteroGAgent(four_gpu, SMALL)
+        fresh.add_graph(make_mlp(name="train_mlp"))
+        fresh.load_policy_state(state)
+        a = trained_agent.policy.logits(
+            trained_agent.context("train_mlp").features,
+            trained_agent.context("train_mlp").adjacency_mask,
+            trained_agent.context("train_mlp").assignment,
+        ).data
+        b = fresh.policy.logits(
+            fresh.context("train_mlp").features,
+            fresh.context("train_mlp").adjacency_mask,
+            fresh.context("train_mlp").assignment,
+        ).data
+        assert np.allclose(a, b)
+
+    def test_duplicate_graph_rejected(self, trained_agent):
+        with pytest.raises(StrategyError):
+            trained_agent.add_graph(make_mlp(name="train_mlp"))
+
+    def test_unknown_graph_rejected(self, trained_agent):
+        with pytest.raises(StrategyError):
+            trained_agent.context("nope")
+
+    def test_multi_graph_training(self, four_gpu):
+        agent = HeteroGAgent(four_gpu, SMALL)
+        agent.add_graph(make_mlp(name="g1"))
+        agent.add_graph(make_mlp(name="g2", layers=2))
+        agent.train(6)
+        assert agent.best_time("g1") < float("inf")
+        assert agent.best_time("g2") < float("inf")

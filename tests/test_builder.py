@@ -1,0 +1,160 @@
+"""Tests for GraphBuilder and training-graph derivation."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.builder import GraphBuilder, build_training_graph
+from repro.graph.op import DTYPE_BYTES, OpPhase
+
+
+def simple_builder(batch=8):
+    b = GraphBuilder("t", batch)
+    x = b.input((16,))
+    x = b.dense(x, 32, layer="fc0")
+    b.softmax_loss(x, 10)
+    return b
+
+
+class TestLayers:
+    def test_input_shape(self):
+        b = GraphBuilder("t", 4)
+        name = b.input((8, 8, 3))
+        assert b.graph.op(name).output.shape == (4, 8, 8, 3)
+
+    def test_invalid_batch(self):
+        with pytest.raises(GraphError):
+            GraphBuilder("t", 0)
+
+    def test_conv2d_shapes_and_params(self):
+        b = GraphBuilder("t", 2)
+        x = b.input((16, 16, 3))
+        c = b.conv2d(x, 8, kernel=3, stride=2)
+        op = b.graph.op(c)
+        assert op.output.shape == (2, 8, 8, 8)
+        assert op.param_bytes == 3 * 3 * 3 * 8 * DTYPE_BYTES
+        assert op.flops > 0
+
+    def test_conv2d_requires_nhwc(self):
+        b = GraphBuilder("t", 2)
+        x = b.input((16,))
+        with pytest.raises(GraphError):
+            b.conv2d(x, 8)
+
+    def test_depthwise_params_smaller(self):
+        b = GraphBuilder("t", 2)
+        x = b.input((8, 8, 16))
+        full = b.graph.op(b.conv2d(x, 16)).param_bytes
+        dw = b.graph.op(b.conv2d(x, 16, depthwise=True)).param_bytes
+        assert dw < full
+
+    def test_dense_uses_last_dim(self):
+        b = GraphBuilder("t", 4)
+        x = b.input((6, 10))
+        d = b.dense(x, 5)
+        assert b.graph.op(d).output.shape == (4, 6, 5)
+
+    def test_embedding_param_heavy(self):
+        b = GraphBuilder("t", 4)
+        x = b.input((12,))
+        e = b.embedding(x, vocab=1000, hidden=64)
+        op = b.graph.op(e)
+        assert op.param_bytes == 1000 * 64 * DTYPE_BYTES
+        assert op.output.shape == (4, 12, 64)
+
+    def test_pool_halves_spatial(self):
+        b = GraphBuilder("t", 2)
+        x = b.input((8, 8, 4))
+        p = b.pool(x)
+        assert b.graph.op(p).output.shape == (2, 4, 4, 4)
+
+    def test_add_n_shape_mismatch(self):
+        b = GraphBuilder("t", 2)
+        x = b.input((8,))
+        y = b.dense(x, 4)
+        with pytest.raises(GraphError):
+            b.add_n([x, y])
+
+    def test_concat_sums_channels(self):
+        b = GraphBuilder("t", 2)
+        x = b.input((8, 8, 4))
+        y = b.conv2d(x, 6, kernel=1)
+        z = b.conv2d(x, 2, kernel=1)
+        c = b.concat([y, z])
+        assert b.graph.op(c).output.shape == (2, 8, 8, 8)
+
+    def test_self_attention_keeps_shape(self):
+        b = GraphBuilder("t", 2)
+        x = b.input((8,))
+        # fake a [B, L, H] tensor via embedding
+        e = b.embedding(x, 100, 16)
+        a = b.self_attention(e, heads=2, layer="l0")
+        assert b.graph.op(a).output.shape == (2, 8, 16)
+
+    def test_loss_adds_classifier_if_needed(self):
+        b = simple_builder()
+        assert "logits" in b.graph
+
+    def test_fresh_names_unique(self):
+        b = GraphBuilder("t", 2)
+        x = b.input((4,))
+        d1 = b.dense(x, 4)
+        d2 = b.dense(x, 4)
+        assert d1 != d2
+
+
+class TestTrainingGraph:
+    def test_backward_ops_created(self):
+        g = build_training_graph(simple_builder())
+        phases = {p: [o.name for o in g.ops_in_phase(p)] for p in OpPhase}
+        assert phases[OpPhase.BACKWARD]
+        assert phases[OpPhase.APPLY]
+
+    def test_one_apply_per_param_op(self):
+        g = build_training_graph(simple_builder())
+        param_fwd = [o for o in g if o.param_bytes and
+                     o.phase in (OpPhase.FORWARD, OpPhase.LOSS)]
+        applies = g.ops_in_phase(OpPhase.APPLY)
+        assert len(applies) == len(param_fwd)
+
+    def test_pgrad_feeds_apply(self):
+        g = build_training_graph(simple_builder())
+        for op in g:
+            if op.produces_param_gradient:
+                succ_phases = {g.op(s).phase for s in g.successors(op.name)}
+                assert OpPhase.APPLY in succ_phases
+
+    def test_pgrad_batch_scaled_unbatched_output(self):
+        g = build_training_graph(simple_builder())
+        pgrads = [o for o in g if o.produces_param_gradient]
+        assert pgrads
+        for op in pgrads:
+            assert op.batch_scaled
+            assert op.output.batch_dim is None
+
+    def test_backward_mirrors_forward_flops(self):
+        b = simple_builder()
+        fwd_flops = b.graph.total_flops()
+        g = build_training_graph(b)
+        # BP (grad-input + param-grad) roughly doubles forward compute
+        assert g.total_flops() > 2 * fwd_flops
+
+    def test_input_has_no_gradient(self):
+        g = build_training_graph(simple_builder())
+        assert "input_grad" not in g
+
+    def test_requires_single_loss(self):
+        b = GraphBuilder("t", 2)
+        x = b.input((4,))
+        b.dense(x, 4)
+        with pytest.raises(GraphError):
+            build_training_graph(b)
+
+    def test_training_graph_is_dag(self):
+        g = build_training_graph(simple_builder())
+        g.validate()
+
+    def test_backward_refs_forward(self):
+        g = build_training_graph(simple_builder())
+        for op in g.ops_in_phase(OpPhase.BACKWARD):
+            if op.forward_ref:
+                assert op.forward_ref in g

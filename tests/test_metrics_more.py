@@ -1,0 +1,65 @@
+"""Additional metrics/result tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.simulation.metrics import SimulationResult, union_length
+
+
+class TestUnionLength:
+    @given(st.lists(st.tuples(st.floats(0, 100), st.floats(0, 10)),
+                    max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_union_bounds(self, raw):
+        intervals = [(s, s + d) for s, d in raw]
+        total = union_length(intervals)
+        if not intervals:
+            assert total == 0.0
+            return
+        span = max(e for _, e in intervals) - min(s for s, _ in intervals)
+        assert 0.0 <= total <= span + 1e-9
+        assert total <= sum(e - s for s, e in intervals) + 1e-9
+
+    def test_disjoint_sum(self):
+        assert union_length([(0, 1), (2, 3), (4, 5)]) == pytest.approx(3.0)
+
+    def test_nested(self):
+        assert union_length([(0, 10), (2, 3)]) == pytest.approx(10.0)
+
+
+class TestSimulationResult:
+    def _result(self, **kw):
+        defaults = dict(makespan=2.0,
+                        device_busy={"gpu0": 1.5, "gpu1": 1.0},
+                        communication_time=0.8)
+        defaults.update(kw)
+        return SimulationResult(**defaults)
+
+    def test_computation_time_is_max_busy(self):
+        assert self._result().computation_time == pytest.approx(1.5)
+
+    def test_overlap_ratio(self):
+        assert self._result().overlap_ratio == pytest.approx((1.5 + 0.8) / 2)
+
+    def test_zero_makespan(self):
+        r = self._result(makespan=0.0)
+        assert r.overlap_ratio == 0.0
+
+    def test_utilization_values(self):
+        util = self._result().utilization()
+        assert util["gpu0"] == pytest.approx(0.75)
+        assert util["gpu1"] == pytest.approx(0.5)
+
+    def test_oom_property(self):
+        assert not self._result().oom
+        assert self._result(oom_devices=["gpu0"]).oom
+
+    def test_summary_keys(self):
+        summary = self._result().summary()
+        assert {"makespan", "computation_time", "communication_time",
+                "overlap_ratio", "oom"} == set(summary)
+
+    def test_empty_result(self):
+        r = SimulationResult(makespan=0.0)
+        assert r.computation_time == 0.0
+        assert r.utilization() == {}

@@ -1,0 +1,106 @@
+"""Tests for the benchmark model zoo."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.models import (
+    ALL_MODELS,
+    CNN_MODELS,
+    build_model,
+    build_resnet,
+    build_vgg19,
+    get_model_entry,
+    model_names,
+)
+from repro.graph.op import OpPhase
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_tiny_preset_valid_training_graph(name):
+    g = build_model(name, "tiny")
+    g.validate()
+    assert g.ops_in_phase(OpPhase.BACKWARD)
+    assert g.ops_in_phase(OpPhase.APPLY)
+    assert len(g.sources()) >= 1
+
+
+@pytest.mark.parametrize("name", ALL_MODELS)
+def test_bench_preset_larger_than_tiny(name):
+    tiny = build_model(name, "tiny")
+    bench = build_model(name, "bench")
+    assert bench.total_flops() > tiny.total_flops()
+
+
+def test_registry_contents():
+    assert set(CNN_MODELS) < set(ALL_MODELS)
+    assert len(ALL_MODELS) == 8
+    assert set(ALL_MODELS) <= set(model_names())
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(GraphError):
+        get_model_entry("alexnet")
+
+
+def test_unknown_preset_rejected():
+    with pytest.raises(GraphError):
+        build_model("vgg19", "huge")
+
+
+def test_preset_overrides():
+    g = build_model("transformer", "tiny", layers=3)
+    # 3 layers produce more ops than the default 2
+    g2 = build_model("transformer", "tiny")
+    assert len(g) > len(g2)
+
+
+class TestVGG:
+    def test_fc_dominates_params(self):
+        g = build_vgg19(batch_size=8, image_size=128)
+        fc_params = sum(op.param_bytes for op in g
+                        if op.layer in ("fc6", "fc7")
+                        and op.phase is OpPhase.FORWARD)
+        total = g.total_param_bytes()
+        assert fc_params > 0.4 * total
+
+    def test_batch_size_scales_flops_not_params(self):
+        g1 = build_vgg19(batch_size=8, image_size=32, fc_units=64, classes=10)
+        g2 = build_vgg19(batch_size=16, image_size=32, fc_units=64, classes=10)
+        assert g2.total_flops() > 1.8 * g1.total_flops()
+        assert g2.total_param_bytes() == g1.total_param_bytes()
+
+
+class TestResNet:
+    def test_depth_plans(self):
+        g50 = build_resnet(8, 50, image_size=32, classes=10)
+        g101 = build_resnet(8, 101, image_size=32, classes=10)
+        assert len(g101) > len(g50)
+
+    def test_unknown_depth(self):
+        with pytest.raises(GraphError):
+            build_resnet(8, depth=42)
+
+    def test_resnet200_is_big(self):
+        g = build_resnet(8, 200, image_size=32, classes=10)
+        assert len(g) > 2000
+
+
+class TestNLPModels:
+    def test_transformer_layers_scale(self):
+        g6 = build_model("transformer", "tiny", layers=2)
+        g12 = build_model("transformer", "tiny", layers=4)
+        assert len(g12) > len(g6)
+
+    def test_embedding_param_heavy(self):
+        g = build_model("bert_large", "tiny")
+        emb = [op for op in g if op.op_type == "Embedding"
+               and op.phase is OpPhase.FORWARD]
+        assert emb
+        assert max(o.param_bytes for o in emb) > 0
+
+    def test_xlnet_heavier_than_bert(self):
+        bert = build_model("bert_large", "tiny")
+        xlnet = build_model("xlnet_large", "tiny")
+        # two-stream attention -> more ops and flops at equal config
+        assert len(xlnet) > len(bert)
+        assert xlnet.total_flops() > bert.total_flops()

@@ -1,0 +1,179 @@
+"""Tests for the cost model, measurements, regressions, and Profiler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import GTX_1080TI, TESLA_V100, cluster_4gpu
+from repro.errors import ProfilingError
+from repro.graph.op import Operation, TensorSpec
+from repro.profiling import (
+    MeasurementNoise,
+    OpTimeRegression,
+    Profiler,
+    TransferTimeRegression,
+    exact_profile,
+    op_class,
+    op_time,
+)
+from repro.profiling.cost_model import bytes_touched, op_memory_bytes
+
+
+def conv_op(flops=1e10, out=(32, 56, 56, 64)):
+    return Operation("c", "Conv2D", TensorSpec(out), flops=flops,
+                     param_bytes=1024)
+
+
+class TestOpClass:
+    def test_known_types(self):
+        assert op_class("Conv2D") == "conv"
+        assert op_class("MatMul") == "gemm"
+        assert op_class("Relu") == "elementwise"
+        assert op_class("MaxPool") == "reduce"
+
+    def test_backward_classes(self):
+        # conv backward kernels have dedicated classes (Fig. 3(b) spread)
+        assert op_class("Conv2DBpInput") == "conv_bp_input"
+        assert op_class("Conv2DBpFilter") == "conv_bp_filter"
+        # other backward ops inherit the forward class
+        assert op_class("MatMulBpFilter") == "gemm"
+        assert op_class("ReluBpInput") == "elementwise"
+
+    def test_unknown_defaults_other(self):
+        assert op_class("SomethingNew") == "other"
+
+
+class TestOpTime:
+    def test_faster_gpu_faster_for_compute_bound(self):
+        op = conv_op(flops=1e11)
+        assert op_time(op, TESLA_V100) < op_time(op, GTX_1080TI)
+
+    def test_compute_bound_ratio_matches_fig3b(self):
+        """Large Conv2D: the calibrated ~1.9x of Fig. 3(b)."""
+        op = conv_op(flops=1e12)
+        ratio = op_time(op, GTX_1080TI) / op_time(op, TESLA_V100)
+        assert 1.7 <= ratio <= 2.0
+
+    def test_tiny_op_overhead_bound(self):
+        op = Operation("r", "Relu", TensorSpec((1, 4)), flops=4.0)
+        ratio = op_time(op, GTX_1080TI) / op_time(op, TESLA_V100)
+        assert ratio < 1.5  # launch-overhead regime: small gap
+
+    def test_batch_fraction_scales_time_down(self):
+        op = conv_op(flops=1e11)
+        assert op_time(op, TESLA_V100, 0.25) < op_time(op, TESLA_V100, 1.0)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            op_time(conv_op(), TESLA_V100, 0.0)
+
+    @given(st.floats(0.1, 1.0), st.floats(0.1, 1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_fraction(self, f1, f2):
+        op = conv_op(flops=1e11)
+        lo, hi = sorted([f1, f2])
+        assert op_time(op, TESLA_V100, lo) <= op_time(op, TESLA_V100, hi) + 1e-12
+
+    def test_bytes_touched_scales_with_fraction(self):
+        op = conv_op()
+        assert bytes_touched(op, 0.5) < bytes_touched(op, 1.0)
+
+    def test_memory_bytes_unbatched_full(self):
+        from repro.profiling.cost_model import ACTIVATION_OVERHEAD
+        op = Operation("g", "Conv2DBpFilter",
+                       TensorSpec((256,), batch_dim=None),
+                       flops=1e9, batch_scaled=True)
+        # unbatched output: no batch-fraction scaling, overhead applies
+        assert op_memory_bytes(op, 0.25) == int(
+            op.output.size_bytes * ACTIVATION_OVERHEAD)
+
+
+class TestRegressions:
+    def test_op_regression_recovers_linear(self):
+        fractions = [0.25, 0.5, 1.0]
+        times = [0.5 * f + 0.1 for f in fractions]
+        reg = OpTimeRegression.fit(fractions, times)
+        assert reg.predict(0.75) == pytest.approx(0.475, rel=1e-6)
+
+    def test_op_regression_floor(self):
+        reg = OpTimeRegression(slope=-1.0, intercept=0.0)
+        assert reg.predict(1.0) == 1e-9
+
+    def test_op_regression_rejects_empty(self):
+        with pytest.raises(ProfilingError):
+            OpTimeRegression.fit([], [])
+
+    def test_op_regression_rejects_nonpositive_fraction(self):
+        reg = OpTimeRegression.fit([0.5, 1.0], [1.0, 2.0])
+        with pytest.raises(ProfilingError):
+            reg.predict(0.0)
+
+    def test_transfer_regression_recovers_bandwidth(self):
+        sizes = [1e6, 1e7, 1e8]
+        bw, lat = 5e9, 1e-5
+        times = [lat + s / bw for s in sizes]
+        reg = TransferTimeRegression.fit(sizes, times)
+        assert reg.bandwidth == pytest.approx(bw, rel=1e-6)
+        assert reg.latency == pytest.approx(lat, rel=1e-3)
+
+    def test_transfer_regression_negative_size(self):
+        reg = TransferTimeRegression.fit([1e6, 1e7], [0.1, 0.2])
+        with pytest.raises(ProfilingError):
+            reg.predict(-1)
+
+    @given(st.floats(1e8, 1e10), st.floats(1e-6, 1e-4))
+    @settings(max_examples=20, deadline=None)
+    def test_transfer_fit_roundtrip(self, bandwidth, latency):
+        sizes = [1e5, 1e6, 1e7, 1e8]
+        times = [latency + s / bandwidth for s in sizes]
+        reg = TransferTimeRegression.fit(sizes, times)
+        for s in sizes:
+            assert reg.predict(s) == pytest.approx(times[sizes.index(s)],
+                                                   rel=1e-6)
+
+
+class TestProfiler:
+    def test_profile_covers_all_ops_and_links(self, mlp_graph, four_gpu,
+                                              mlp_profile):
+        models = {d.spec.model for d in four_gpu.devices}
+        assert len(mlp_profile.op_models) == len(mlp_graph) * len(models)
+        assert len(mlp_profile.link_models) == 4 * 3
+
+    def test_predictions_close_to_truth(self, mlp_graph, four_gpu):
+        profile = exact_profile(mlp_graph, four_gpu)
+        spec = four_gpu.device("gpu0").spec
+        for op in mlp_graph:
+            pred = profile.op_time(op.name, "gpu0", 1.0)
+            truth = op_time(op, spec, 1.0)
+            assert pred == pytest.approx(truth, rel=0.15)
+
+    def test_noise_changes_predictions(self, mlp_graph, four_gpu):
+        noisy = Profiler(noise=MeasurementNoise(0.1), seed=1).profile(
+            mlp_graph, four_gpu
+        )
+        exact = exact_profile(mlp_graph, four_gpu)
+        diffs = [
+            abs(noisy.op_time(op.name, "gpu0") - exact.op_time(op.name, "gpu0"))
+            for op in mlp_graph
+        ]
+        assert max(diffs) > 0
+
+    def test_deterministic_given_seed(self, mlp_graph, four_gpu):
+        p1 = Profiler(seed=42).profile(mlp_graph, four_gpu)
+        p2 = Profiler(seed=42).profile(mlp_graph, four_gpu)
+        name = mlp_graph.op_names[3]
+        assert p1.op_time(name, "gpu0") == p2.op_time(name, "gpu0")
+
+    def test_unknown_op_rejected(self, mlp_profile):
+        with pytest.raises(ProfilingError):
+            mlp_profile.op_time("nope", "gpu0")
+
+    def test_unknown_device_rejected(self, mlp_profile, mlp_graph):
+        with pytest.raises(ProfilingError):
+            mlp_profile.op_time(mlp_graph.op_names[0], "gpu77")
+
+    def test_transfer_self_is_zero(self, mlp_profile):
+        assert mlp_profile.transfer_time("gpu0", "gpu0", 1e6) == 0.0
+
+    def test_transfer_positive(self, mlp_profile):
+        assert mlp_profile.transfer_time("gpu0", "gpu2", 1e6) > 0

@@ -1,0 +1,137 @@
+"""Tests for the reporting utilities and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.cluster import cluster_4gpu
+from repro.parallel import GraphCompiler, make_mp_strategy, single_device_strategy
+from repro.profiling import exact_profile
+from repro.reporting import (
+    chrome_trace,
+    describe_strategy,
+    save_chrome_trace,
+    strategy_diff,
+    text_gantt,
+)
+from repro.simulation import ProfileCostModel, Simulator
+
+from tests.helpers import make_mlp
+
+
+@pytest.fixture(scope="module")
+def traced():
+    cluster = cluster_4gpu()
+    graph = make_mlp(name="report_mlp")
+    profile = exact_profile(graph, cluster)
+    compiler = GraphCompiler(cluster, profile)
+    strategy = single_device_strategy(graph, cluster)
+    strategy.set(graph.op_names[2], make_mp_strategy("gpu2"))
+    dist = compiler.compile(graph, strategy)
+    result = Simulator(ProfileCostModel(cluster, profile)).run(
+        dist, trace=True)
+    return graph, cluster, strategy, dist, result
+
+
+class TestReporting:
+    def test_text_gantt(self, traced):
+        _, _, _, dist, result = traced
+        chart = text_gantt(dist, result)
+        assert "gpu0" in chart
+        assert "#" in chart
+
+    def test_gantt_requires_trace(self, traced):
+        _, cluster, _, dist, _ = traced
+        from repro.profiling import exact_profile
+        graph = make_mlp(name="report_mlp2")
+        profile = exact_profile(graph, cluster)
+        compiler = GraphCompiler(cluster, profile)
+        d = compiler.compile(graph, single_device_strategy(graph, cluster))
+        res = Simulator(ProfileCostModel(cluster, profile)).run(d)
+        with pytest.raises(ValueError):
+            text_gantt(d, res)
+
+    def test_chrome_trace_events(self, traced):
+        _, _, _, dist, result = traced
+        events = chrome_trace(dist, result)
+        assert len(events) == len(dist)
+        assert all(e["ph"] == "X" for e in events)
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_save_chrome_trace(self, traced, tmp_path):
+        _, _, _, dist, result = traced
+        path = tmp_path / "trace.json"
+        save_chrome_trace(dist, result, str(path))
+        data = json.loads(path.read_text())
+        assert "traceEvents" in data
+
+    def test_strategy_diff(self, traced):
+        graph, cluster, strategy, _, _ = traced
+        other = single_device_strategy(graph, cluster)
+        diff = strategy_diff(strategy, other)
+        assert len(diff) == 1
+        (name, (a, b)), = diff.items()
+        assert a == "MP:gpu2" and b == "MP:gpu0"
+
+    def test_describe_strategy(self, traced):
+        _, _, strategy, _, _ = traced
+        text = describe_strategy(strategy)
+        assert "strategy mix" in text
+        assert "MP:gpu0" in text
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["models"])
+        assert args.command == "models"
+
+    def test_models_command(self, capsys):
+        assert main(["models", "--preset", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg19" in out
+        assert "xlnet_large" in out
+
+    def test_clusters_command(self, capsys):
+        assert main(["clusters"]) == 0
+        out = capsys.readouterr().out
+        assert "Tesla V100" in out
+        assert "12gpu" in out
+
+    def test_baselines_command(self, capsys):
+        assert main(["baselines", "vgg19", "--preset", "tiny",
+                     "--cluster", "4gpu"]) == 0
+        out = capsys.readouterr().out
+        assert "EV-PS" in out and "CP-AR" in out
+
+    def test_fig3b_experiment(self, capsys):
+        assert main(["experiment", "fig3b"]) == 0
+        out = capsys.readouterr().out
+        assert "Conv2D" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestCLIPlan:
+    def test_plan_command_tiny(self, capsys, tmp_path, monkeypatch):
+        """Full plan path: search, report, save strategy JSON."""
+        monkeypatch.setenv("REPRO_EPISODES", "4")
+        save = str(tmp_path / "strategy.json")
+        # patch the model registry call path via CLI args only: use the
+        # smallest model at tiny preset on the 4-GPU cluster
+        assert main(["plan", "transformer", "--preset", "tiny",
+                     "--cluster", "4gpu", "--episodes", "5",
+                     "--save", save]) == 0
+        out = capsys.readouterr().out
+        assert "per-iteration time" in out
+        assert "strategy mix" in out
+        import json
+        data = json.loads(open(save).read())
+        assert data["per_op"]
+
+    def test_experiment_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])

@@ -1,0 +1,73 @@
+"""Tests for the heterogeneity/bandwidth sweep analyses."""
+
+import pytest
+
+from repro.experiments.sweeps import (
+    _skewed_cluster,
+    bandwidth_sweep,
+    heterogeneity_sweep,
+)
+
+from tests.helpers import make_mlp
+
+
+def builder():
+    # compute-bound conv net: skew effects show on compute, not just comm
+    from repro.graph.models import build_model
+    return build_model("inception_v3", "tiny", batch_size=64)
+
+
+class TestSkewedCluster:
+    def test_homogeneous_at_skew_one(self):
+        c = _skewed_cluster(1.0)
+        powers = {d.compute_power for d in c.devices}
+        assert len(powers) == 1
+
+    def test_skew_slows_second_server(self):
+        c = _skewed_cluster(3.0)
+        fast = c.device("gpu0").compute_power
+        slow = c.device("gpu2").compute_power
+        assert fast / slow == pytest.approx(3.0)
+
+    def test_invalid_skew(self):
+        with pytest.raises(ValueError):
+            _skewed_cluster(0.5)
+
+
+class TestHeterogeneitySweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return heterogeneity_sweep(builder, skews=[1.0, 3.0], episodes=8)
+
+    def test_shapes(self, points):
+        assert [p.x for p in points] == [1.0, 3.0]
+        for p in points:
+            assert {"EV-AR", "CP-AR", "HeteroG"} == set(p.times)
+            assert all(t > 0 for t in p.times.values())
+
+    def test_ev_degrades_with_skew(self, points):
+        """Even DP slows down as devices diverge (the paper's premise)."""
+        assert points[1].times["EV-AR"] > points[0].times["EV-AR"]
+
+    def test_cp_gap_grows_with_skew(self, points):
+        """The EV-vs-CP gap widens with heterogeneity."""
+        gap0 = points[0].times["EV-AR"] / points[0].times["CP-AR"]
+        gap1 = points[1].times["EV-AR"] / points[1].times["CP-AR"]
+        assert gap1 > gap0
+
+    def test_heterog_never_worse_than_cp(self, points):
+        for p in points:
+            assert p.times["HeteroG"] <= p.times["CP-AR"] * 1.05
+
+    def test_bandwidth_builder_mlp(self):
+        points = bandwidth_sweep(
+            lambda: make_mlp(layers=3, width=128, batch_size=64,
+                             name="bw_mlp"),
+            gbps=[10, 100])
+        assert points[0].times["CP-AR"] > points[1].times["CP-AR"]
+
+
+class TestBandwidthSweep:
+    def test_more_bandwidth_never_slower(self):
+        points = bandwidth_sweep(builder, gbps=[10, 100])
+        assert points[1].times["CP-AR"] <= points[0].times["CP-AR"] * 1.02
