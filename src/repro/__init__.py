@@ -13,6 +13,8 @@ Public surface:
 - ``repro.agent`` — GNN policy and REINFORCE strategy search.
 - ``repro.baselines`` — DP baselines and related-work schemes.
 - ``repro.runtime`` — execution engine (testbed stand-in) and runner.
+- ``repro.telemetry`` — metrics registry, span tracing, critical-path
+  attribution.
 """
 
 from . import (
@@ -24,6 +26,7 @@ from . import (
     runtime,
     scheduling,
     simulation,
+    telemetry,
 )
 from .api import Dataset, get_runner, parse_device_info
 from .config import HeteroGConfig
@@ -63,5 +66,6 @@ __all__ = [
     "profiling",
     "runtime",
     "simulation",
+    "telemetry",
     "__version__",
 ]

@@ -9,11 +9,13 @@ regularizer for exploration.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from ..graph.dag import ComputationGraph
 from ..graph.grouping import Grouping
 from ..nn import functional as F
@@ -23,6 +25,10 @@ from .environment import EvalOutcome, StrategyEvaluator
 from .policy import PolicyNetwork, actions_to_strategy
 from .reward import MovingAverageBaseline, compute_reward
 from .seeds import seed_action_vectors
+
+# rewards are negative (-sqrt(T), x10 on OOM): symmetric-log buckets
+_REWARD_BUCKETS = tuple(-(4.0 ** i) for i in range(8, -1, -1)) + (
+    0.0, 1.0, 4.0)
 
 
 @dataclass
@@ -94,6 +100,12 @@ class ReinforceTrainer:
     # ------------------------------------------------------------------ #
     def train_episode(self) -> Dict[str, float]:
         """One policy-gradient step over all graphs; returns rewards."""
+        with telemetry.span("agent.episode", episode=self.episode):
+            return self._train_episode()
+
+    def _train_episode(self) -> Dict[str, float]:
+        tel = telemetry.active()
+        wall_start = time.perf_counter() if tel is not None else 0.0
         losses: List[Tensor] = []
         rewards: Dict[str, float] = {}
         for ctx in self.contexts:
@@ -127,6 +139,23 @@ class ReinforceTrainer:
             )
             losses.append(loss)
             rewards[ctx.name] = reward
+            if tel is not None:
+                labels = {"graph": ctx.name}
+                reg = tel.registry
+                reg.histogram("agent_episode_reward", labels=labels,
+                              help="REINFORCE reward per episode",
+                              buckets=_REWARD_BUCKETS).observe(reward)
+                reg.histogram("agent_episode_advantage", labels=labels,
+                              help="reward minus moving-average baseline",
+                              buckets=_REWARD_BUCKETS).observe(advantage)
+                reg.gauge("agent_policy_entropy", labels=labels,
+                          help="entropy of the sampled strategy",
+                          ).set(float(sample.entropy.data))
+                best = min(ctx.best_time, ctx.best_raw_time)
+                if best != float("inf"):
+                    reg.gauge("agent_best_time_seconds", labels=labels,
+                              help="best feasible simulated time so far",
+                              ).set(best)
 
         total = losses[0]
         for loss in losses[1:]:
@@ -137,6 +166,13 @@ class ReinforceTrainer:
         self.optimizer.step()
         self.episode += 1
         self._entropy_weight *= self.config.entropy_decay
+        if tel is not None:
+            tel.registry.counter("agent_episodes_total",
+                                 help="REINFORCE episodes trained").inc()
+            tel.registry.histogram(
+                "agent_episode_wall_seconds",
+                help="wall-clock time per training episode",
+            ).observe(time.perf_counter() - wall_start)
         return rewards
 
     def _evaluate_raw_seeds(self, ctx: GraphContext) -> None:

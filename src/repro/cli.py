@@ -6,6 +6,8 @@ plan        search a deployment strategy for a model on a cluster preset
 baselines   measure the four DP baselines for a model
 models      list registered benchmark models and their sizes
 clusters    show the cluster presets
+trace       run the full pipeline under telemetry, write a Chrome trace
+            and print the critical-path blame
 experiment  run one paper experiment (table1, table4, table7, fig3a,
             fig3b, fig8, fig9)
 """
@@ -16,7 +18,9 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import __version__
 from .cluster import cluster_4gpu, cluster_8gpu, cluster_12gpu
+from .errors import ReproError
 from .graph.models import ALL_MODELS, build_model, model_names
 
 CLUSTERS = {
@@ -24,6 +28,42 @@ CLUSTERS = {
     "8gpu": cluster_8gpu,
     "12gpu": cluster_12gpu,
 }
+
+
+def _resolve_cluster(name: str):
+    """Accept '8gpu', 'cluster8', 'cluster8gpu', or '8'."""
+    key = name.lower().strip()
+    if key.startswith("cluster"):
+        key = key[len("cluster"):]
+    if key and not key.endswith("gpu"):
+        key = key + "gpu"
+    try:
+        return CLUSTERS[key]
+    except KeyError:
+        raise ReproError(
+            f"unknown cluster {name!r}; known: {', '.join(sorted(CLUSTERS))}"
+        ) from None
+
+
+def _resolve_model(name: str) -> str:
+    """Exact model name, or a unique prefix (e.g. 'resnet')."""
+    key = name.lower().strip()
+    if key in ALL_MODELS:
+        return key
+    matches = [m for m in model_names() if key and m.startswith(key)]
+    if len(matches) == 1:
+        return matches[0]
+    hint = (f"ambiguous between {', '.join(matches)}" if matches
+            else f"known: {', '.join(model_names())}")
+    raise ReproError(f"unknown model {name!r}; {hint}")
+
+
+def _write_metrics(registry, path: str) -> None:
+    """Dump a metrics registry: Prometheus text for .prom/.txt, else JSON."""
+    if path.endswith((".prom", ".txt")):
+        registry.save_prometheus(path)
+    else:
+        registry.save_json(path)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -93,8 +133,62 @@ def cmd_baselines(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run the pipeline under telemetry and export it."""
+    from . import telemetry
+    from .config import HeteroGConfig
+    from .heterog import HeteroG
+    from .reporting import save_chrome_trace
+    from .runtime.execution_engine import ExecutionEngine
+
+    model_name = _resolve_model(args.model)
+    cluster = _resolve_cluster(args.cluster)()
+    with telemetry.session() as tel:
+        with telemetry.span("pipeline.build", model=model_name,
+                            preset=args.preset):
+            graph = build_model(model_name, args.preset)
+        print(f"tracing {graph.name} on {cluster} "
+              f"({args.episodes} episodes)...", file=sys.stderr)
+        heterog = HeteroG(cluster, HeteroGConfig(episodes=args.episodes,
+                                                 seed=args.seed))
+        strategy = heterog.plan(graph)
+        deployment = heterog.deploy(
+            graph, strategy, profile=heterog.agent.profile(graph.name))
+        engine = ExecutionEngine(cluster, seed=args.seed + 1)
+        with telemetry.span("pipeline.execute", graph=graph.name):
+            result = engine.run_iteration(
+                deployment.dist, deployment.schedule,
+                deployment.resident_bytes, check_memory=False, trace=True)
+        save_chrome_trace(deployment.dist, result, args.out,
+                          tracer=tel.tracer,
+                          resident_bytes=deployment.resident_bytes)
+        print(f"chrome trace written to {args.out} "
+              f"({len(deployment.dist)} dist-ops, "
+              f"makespan {result.makespan * 1e3:.2f} ms)")
+        report = telemetry.critical_path(deployment.dist, result)
+        print(report.summary())
+        if args.spans_out:
+            tel.tracer.save_jsonl(args.spans_out)
+            print(f"span log written to {args.spans_out}")
+        if args.metrics_out:
+            _write_metrics(tel.registry, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """``repro experiment``: regenerate one paper table/figure."""
+    if args.metrics_out:
+        from . import telemetry
+        with telemetry.session() as tel:
+            code = _run_experiment(args)
+            _write_metrics(tel.registry, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        return code
+    return _run_experiment(args)
+
+
+def _run_experiment(args: argparse.Namespace) -> int:
     from . import experiments as ex
     name = args.name
     if name == "table1":
@@ -131,6 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="HeteroG reproduction (CoNEXT 2020)",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("models", help="list benchmark models")
@@ -153,11 +249,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("model", choices=sorted(ALL_MODELS))
     p.set_defaults(func=cmd_baselines)
 
+    p = sub.add_parser("trace",
+                       help="trace the pipeline and export telemetry")
+    p.add_argument("model", help="model name or unique prefix "
+                   "(e.g. resnet, vgg19)")
+    p.add_argument("cluster", nargs="?", default="8gpu",
+                   help="cluster preset (8gpu, cluster8, 12gpu, ...)")
+    p.add_argument("-o", "--out", default="trace.json",
+                   help="Chrome trace output path (default: trace.json)")
+    p.add_argument("--preset", choices=["tiny", "bench", "paper"],
+                   default="bench", help="model scale (default: bench)")
+    p.add_argument("--episodes", type=int, default=4,
+                   help="strategy-search episodes (default: 4)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--spans-out", metavar="PATH",
+                   help="also write the span log as JSONL")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="also dump the metrics registry "
+                   "(.prom/.txt: Prometheus text; else JSON)")
+    p.set_defaults(func=cmd_trace)
+
     p = sub.add_parser("experiment", help="run one paper experiment")
     p.add_argument("name", choices=["table1", "table4", "table5", "table7",
                                     "fig3a", "fig3b", "fig8", "fig9"])
     p.add_argument("--large", action="store_true",
                    help="include the large-model OOM rows (slow)")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="dump the telemetry metrics registry "
+                   "(.prom/.txt: Prometheus text; else JSON)")
     p.set_defaults(func=cmd_experiment)
     return parser
 
@@ -166,7 +285,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,6 +10,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional
 
+from . import telemetry
 from .agent.agent import HeteroGAgent
 from .cluster.topology import Cluster
 from .config import HeteroGConfig
@@ -41,15 +42,17 @@ class HeteroG:
     # ------------------------------------------------------------------ #
     def analyze(self, graph: ComputationGraph) -> GraphAnalysis:
         """Run the Graph Analyzer (Sec. 3.2)."""
-        self._analysis = GraphAnalyzer().analyze(graph)
+        with telemetry.span("pipeline.analyze", graph=graph.name):
+            self._analysis = GraphAnalyzer().analyze(graph)
         return self._analysis
 
     def profile(self, graph: ComputationGraph) -> Profile:
         """Run the Profiler (Sec. 3.3)."""
-        return Profiler(
-            noise=MeasurementNoise(self.config.profile_noise_sigma),
-            seed=self.config.seed,
-        ).profile(graph, self.cluster)
+        with telemetry.span("pipeline.profile", graph=graph.name):
+            return Profiler(
+                noise=MeasurementNoise(self.config.profile_noise_sigma),
+                seed=self.config.seed,
+            ).profile(graph, self.cluster)
 
     # ------------------------------------------------------------------ #
     def plan(self, graph: ComputationGraph,
@@ -59,10 +62,12 @@ class HeteroG:
         self.analyze(graph)
         if profile is None:
             profile = self.profile(graph)
-        ctx = self.agent.add_graph(graph, profile)
-        self.agent.train(episodes if episodes is not None
-                         else self.config.episodes)
-        return self.agent.best_strategy(ctx.name)
+        with telemetry.span("pipeline.group", graph=graph.name):
+            ctx = self.agent.add_graph(graph, profile)
+        with telemetry.span("pipeline.search", graph=graph.name):
+            self.agent.train(episodes if episodes is not None
+                             else self.config.episodes)
+            return self.agent.best_strategy(ctx.name)
 
     def deploy(self, graph: ComputationGraph,
                strategy: Optional[Strategy] = None,
@@ -78,11 +83,12 @@ class HeteroG:
             ctx_groups = self.agent.context(graph.name).grouping.group_of
         except Exception:
             ctx_groups = None
-        return make_deployment(
-            graph, self.cluster, strategy, profile=profile,
-            use_order_scheduling=self.config.use_order_scheduling,
-            group_of=ctx_groups,
-        )
+        with telemetry.span("pipeline.schedule", graph=graph.name):
+            return make_deployment(
+                graph, self.cluster, strategy, profile=profile,
+                use_order_scheduling=self.config.use_order_scheduling,
+                group_of=ctx_groups,
+            )
 
     def runner(self, deployment: Deployment) -> DistributedRunner:
         engine = ExecutionEngine(

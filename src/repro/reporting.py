@@ -12,7 +12,9 @@ from typing import Dict, List, Optional, Tuple
 
 from .parallel.distgraph import DistGraph, DistOpKind
 from .parallel.strategy import Strategy
+from .simulation.memory import MemoryTracker
 from .simulation.metrics import SimulationResult
+from .telemetry import Tracer
 
 
 def _resource_of(dist: DistGraph, name: str) -> str:
@@ -39,7 +41,8 @@ def text_gantt(dist: DistGraph, result: SimulationResult, *,
         rows.setdefault(resource, []).append((start, end))
 
     lines: List[str] = [f"0{' ' * (width - 12)}{makespan * 1e3:.2f} ms"]
-    for resource in sorted(rows)[:max_rows]:
+    ordered = sorted(rows)
+    for resource in ordered[:max_rows]:
         cells = [" "] * width
         for start, end in rows[resource]:
             lo = int(start / makespan * (width - 1))
@@ -47,33 +50,170 @@ def text_gantt(dist: DistGraph, result: SimulationResult, *,
             for i in range(lo, min(hi, width)):
                 cells[i] = "#" if resource != "nccl" else "="
         lines.append(f"{resource:>22s} |{''.join(cells)}|")
+    hidden = len(ordered) - max_rows
+    if hidden > 0:
+        lines.append(f"(+{hidden} more resources)")
     return "\n".join(lines)
 
 
-def chrome_trace(dist: DistGraph, result: SimulationResult) -> List[dict]:
-    """Events in Chrome tracing format (load via chrome://tracing)."""
+SIM_PID = 0       # simulated resources (devices, links, nccl)
+PIPELINE_PID = 1  # wall-clock pipeline spans from the tracer
+
+
+def _resource_rows(dist: DistGraph,
+                   schedule: Dict[str, Tuple[float, float]]) -> Dict[str, int]:
+    """Stable resource -> tid mapping: devices, then links, then nccl."""
+    resources = {_resource_of(dist, name) for name in schedule}
+    devices = sorted(r for r in resources
+                     if not r.startswith("link ") and r != "nccl")
+    links = sorted(r for r in resources if r.startswith("link "))
+    ordered = devices + links + (["nccl"] if "nccl" in resources else [])
+    return {r: i for i, r in enumerate(ordered)}
+
+
+def _memory_counters(dist: DistGraph,
+                     schedule: Dict[str, Tuple[float, float]],
+                     resident_bytes: Optional[Dict[str, int]]) -> List[dict]:
+    """Per-device memory counter tracks, replaying the refcounted
+    tracker over the traced start/finish times."""
+    memory = MemoryTracker(dist, resident_bytes or {})
+    # finishes sort before starts at equal timestamps, matching the
+    # engine's release-then-start event ordering
+    timeline: List[Tuple[float, int, str]] = []
+    for name, (start, end) in schedule.items():
+        timeline.append((start, 1, name))
+        timeline.append((end, 0, name))
+    events: List[dict] = []
+    for ts, is_start, name in sorted(timeline):
+        op = dist.op(name)
+        before = dict(memory.current)
+        if is_start:
+            memory.on_start(op)
+        else:
+            memory.on_finish(op)
+        for device, value in memory.current.items():
+            if before.get(device) != value:
+                events.append({
+                    "name": f"mem {device}", "ph": "C", "pid": SIM_PID,
+                    "ts": ts * 1e6, "args": {"MiB": value / 2 ** 20},
+                })
+    return events
+
+
+def _utilization_counters(dist: DistGraph,
+                          schedule: Dict[str, Tuple[float, float]]
+                          ) -> List[dict]:
+    """Binary busy/idle counter tracks for links and the NCCL token
+    (each is an exclusive resource, so utilization is 0 or 1)."""
+    events: List[dict] = []
+    for name in sorted(schedule):
+        resource = _resource_of(dist, name)
+        if not resource.startswith("link ") and resource != "nccl":
+            continue
+        start, end = schedule[name]
+        track = f"util {resource}"
+        events.append({"name": track, "ph": "C", "pid": SIM_PID,
+                       "ts": start * 1e6, "args": {"busy": 1}})
+        events.append({"name": track, "ph": "C", "pid": SIM_PID,
+                       "ts": end * 1e6, "args": {"busy": 0}})
+    return events
+
+
+def chrome_trace(dist: DistGraph, result: SimulationResult, *,
+                 tracer: Optional[Tracer] = None,
+                 resident_bytes: Optional[Dict[str, int]] = None,
+                 include_flows: bool = True,
+                 include_counters: bool = True) -> List[dict]:
+    """Events in Chrome tracing format (chrome://tracing or Perfetto).
+
+    Emits, in addition to one ``X`` slice per dist-op:
+
+    - ``M`` metadata events (``process_name``/``thread_name`` plus
+      ``thread_sort_index``) so resources group deterministically:
+      devices first, then links, then the NCCL token;
+    - ``s``/``f`` flow events for every dependency edge
+      (``include_flows``);
+    - ``C`` counter tracks for per-device memory and per-link/NCCL
+      utilization (``include_counters``; pass the deployment's
+      ``resident_bytes`` to include parameters + optimizer state);
+    - the tracer's wall-clock pipeline span tree on a second process
+      when ``tracer`` is given.
+    """
     if not result.schedule:
         raise ValueError("result has no trace; simulate with trace=True")
-    events = []
-    for name, (start, end) in result.schedule.items():
+    schedule = result.schedule
+    tid_of = _resource_rows(dist, schedule)
+
+    events: List[dict] = [{
+        "name": "process_name", "ph": "M", "pid": SIM_PID, "tid": 0,
+        "args": {"name": "simulation"},
+    }]
+    for resource, tid in sorted(tid_of.items(), key=lambda kv: kv[1]):
+        events.append({"name": "thread_name", "ph": "M", "pid": SIM_PID,
+                       "tid": tid, "args": {"name": resource}})
+        events.append({"name": "thread_sort_index", "ph": "M",
+                       "pid": SIM_PID, "tid": tid,
+                       "args": {"sort_index": tid}})
+
+    ordered = sorted(schedule, key=lambda n: (schedule[n][0], n))
+    for name in ordered:
+        start, end = schedule[name]
         op = dist.op(name)
+        args: Dict[str, object] = {"kind": op.kind.value}
+        if op.size_bytes:
+            args["size_bytes"] = op.size_bytes
+        if op.is_compute and op.batch_fraction != 1.0:
+            args["batch_fraction"] = op.batch_fraction
         events.append({
             "name": name,
             "cat": op.kind.value,
             "ph": "X",
             "ts": start * 1e6,
             "dur": (end - start) * 1e6,
-            "pid": 0,
-            "tid": _resource_of(dist, name),
+            "pid": SIM_PID,
+            "tid": tid_of[_resource_of(dist, name)],
+            "args": args,
         })
+
+    if include_flows:
+        flow_id = 0
+        for name in ordered:
+            for succ in dist.successors(name):
+                if succ not in schedule:
+                    continue
+                flow_id += 1
+                events.append({
+                    "name": "dep", "cat": "dependency", "ph": "s",
+                    "id": flow_id, "ts": schedule[name][1] * 1e6,
+                    "pid": SIM_PID,
+                    "tid": tid_of[_resource_of(dist, name)],
+                })
+                events.append({
+                    "name": "dep", "cat": "dependency", "ph": "f",
+                    "bp": "e", "id": flow_id,
+                    "ts": schedule[succ][0] * 1e6,
+                    "pid": SIM_PID,
+                    "tid": tid_of[_resource_of(dist, succ)],
+                })
+
+    if include_counters:
+        events.extend(_memory_counters(dist, schedule, resident_bytes))
+        events.extend(_utilization_counters(dist, schedule))
+
+    if tracer is not None:
+        events.extend(tracer.chrome_events(pid=PIPELINE_PID))
     return events
 
 
 def save_chrome_trace(dist: DistGraph, result: SimulationResult,
-                      path: str) -> None:
+                      path: str, *, tracer: Optional[Tracer] = None,
+                      resident_bytes: Optional[Dict[str, int]] = None
+                      ) -> None:
     """Write a chrome://tracing JSON file for a traced simulation."""
+    events = chrome_trace(dist, result, tracer=tracer,
+                          resident_bytes=resident_bytes)
     with open(path, "w") as fh:
-        json.dump({"traceEvents": chrome_trace(dist, result)}, fh)
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
 
 
 def strategy_diff(a: Strategy, b: Strategy) -> Dict[str, Tuple[str, str]]:

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..cluster.topology import Cluster
 from ..errors import OutOfMemoryError
 from ..parallel.distgraph import DistGraph
@@ -62,13 +63,25 @@ class ExecutionEngine:
                       trace: bool = False) -> SimulationResult:
         """Execute one iteration; raises :class:`OutOfMemoryError` if a
         device's peak usage exceeds its capacity (as the real run would)."""
-        result = self._simulator.run(
-            dist,
-            priorities=schedule.priorities,
-            resident_bytes=resident_bytes,
-            capacities=self.capacities,
-            trace=trace,
-        )
+        tel = telemetry.active()
+        with telemetry.span("engine.iteration", graph=dist.name):
+            result = self._simulator.run(
+                dist,
+                priorities=schedule.priorities,
+                resident_bytes=resident_bytes,
+                capacities=self.capacities,
+                trace=trace,
+            )
+        if tel is not None:
+            tel.registry.histogram(
+                "engine_iteration_seconds", labels={"graph": dist.name},
+                help="simulated per-iteration time on the truth engine",
+            ).observe(result.makespan)
+            for device in result.oom_devices:
+                tel.registry.counter(
+                    "engine_oom_total", labels={"device": device},
+                    help="iterations that exceeded a device's memory",
+                ).inc()
         if check_memory and result.oom_devices:
             worst = result.oom_devices[0]
             raise OutOfMemoryError(
@@ -84,9 +97,18 @@ class ExecutionEngine:
         """Run ``warmup + iterations`` iterations; keep stats of the last
         ``iterations`` (the paper averages over 500 real iterations)."""
         stats = IterationStats()
-        for i in range(warmup + iterations):
-            result = self.run_iteration(dist, schedule, resident_bytes)
-            if i >= warmup:
-                stats.times.append(result.makespan)
-                stats.last_result = result
+        with telemetry.span("engine.measure", graph=dist.name,
+                            iterations=iterations, warmup=warmup):
+            for i in range(warmup + iterations):
+                result = self.run_iteration(dist, schedule, resident_bytes)
+                if i >= warmup:
+                    stats.times.append(result.makespan)
+                    stats.last_result = result
+        tel = telemetry.active()
+        if tel is not None and stats.times and stats.mean > 0:
+            # realized run-to-run jitter (std/mean) vs the configured sigma
+            tel.registry.gauge(
+                "engine_jitter_realized", labels={"graph": dist.name},
+                help="coefficient of variation of measured iterations",
+            ).set(stats.std / stats.mean)
         return stats

@@ -7,6 +7,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..errors import ReproError
 from ..graph.op import OpPhase
 from .deployment import Deployment
@@ -62,13 +63,22 @@ class DistributedRunner:
         if steps <= 0:
             raise ReproError(f"steps must be positive, got {steps}")
         report = TrainingReport(steps=steps, global_batch=self._global_batch)
-        for _ in range(steps):
-            result = self.engine.run_iteration(
-                self.deployment.dist,
-                self.deployment.schedule,
-                self.deployment.resident_bytes,
-            )
-            report.iteration_times.append(result.makespan)
+        with telemetry.span("pipeline.execute",
+                            graph=self.deployment.graph.name, steps=steps):
+            for _ in range(steps):
+                result = self.engine.run_iteration(
+                    self.deployment.dist,
+                    self.deployment.schedule,
+                    self.deployment.resident_bytes,
+                )
+                report.iteration_times.append(result.makespan)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.registry.gauge(
+                "runner_throughput_samples_per_second",
+                labels={"graph": self.deployment.graph.name},
+                help="training throughput of the last run() call",
+            ).set(report.throughput)
         return report
 
 

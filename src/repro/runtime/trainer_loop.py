@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from .. import telemetry
 from ..errors import ReproError
 
 # samples to converge to target top-5 accuracy, per model family
@@ -56,7 +57,19 @@ class ConvergenceModel:
         return int(round(self.samples / self.global_batch))
 
     def end_to_end_minutes(self, per_iteration_seconds: float) -> float:
-        return self.iterations * per_iteration_seconds / 60.0
+        minutes = self.iterations * per_iteration_seconds / 60.0
+        tel = telemetry.active()
+        if tel is not None:
+            labels = {"model": self.model_name}
+            tel.registry.gauge(
+                "trainer_iterations_to_target", labels=labels,
+                help="iterations needed to reach the target accuracy",
+            ).set(self.iterations)
+            tel.registry.gauge(
+                "trainer_end_to_end_minutes", labels=labels,
+                help="projected end-to-end training minutes",
+            ).set(minutes)
+        return minutes
 
 
 def end_to_end_minutes(model_name: str, global_batch: int,

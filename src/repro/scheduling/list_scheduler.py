@@ -8,9 +8,11 @@ order they become ready — is the FIFO baseline of Table 7.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import telemetry
 from ..parallel.distgraph import DistGraph
 from ..simulation.costs import CostProvider
 from .ranking import DEFAULT_COMM_WEIGHT, compute_ranks
@@ -71,11 +73,30 @@ class ListScheduler:
 
     def schedule(self, graph: DistGraph, cost: CostProvider) -> Schedule:
         from ..simulation.engine import Simulator  # local: avoid cycle
+        tel = telemetry.active()
         simulator = Simulator(cost)
-        rank_priorities = self._rank_priorities(graph, cost)
-        rank_run = simulator.run(graph, priorities=rank_priorities)
-        earliest_run = simulator.run(graph, priorities=None, trace=True)
-        if rank_run.makespan <= earliest_run.makespan:
+        with telemetry.span("schedule.ranking", graph=graph.name):
+            rank_start = time.perf_counter()
+            rank_priorities = self._rank_priorities(graph, cost)
+            rank_seconds = time.perf_counter() - rank_start
+        with telemetry.span("schedule.placement", graph=graph.name):
+            place_start = time.perf_counter()
+            rank_run = simulator.run(graph, priorities=rank_priorities)
+            earliest_run = simulator.run(graph, priorities=None, trace=True)
+            place_seconds = time.perf_counter() - place_start
+        chosen = ("rank" if rank_run.makespan <= earliest_run.makespan
+                  else "earliest")
+        if tel is not None:
+            reg = tel.registry
+            reg.histogram("sched_ranking_seconds",
+                          help="upward-rank computation wall time",
+                          ).observe(rank_seconds)
+            reg.histogram("sched_placement_seconds",
+                          help="candidate-order simulation wall time",
+                          ).observe(place_seconds)
+            reg.counter("sched_chosen_total", labels={"order": chosen},
+                        help="which candidate execution order won").inc()
+        if chosen == "rank":
             return Schedule(priorities=rank_priorities,
                             ranks=self._last_ranks,
                             estimated_makespan=rank_run.makespan,

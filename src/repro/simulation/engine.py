@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from .. import telemetry
 from ..errors import SimulationError
 from ..parallel.distgraph import DistGraph, DistOp
 from .costs import CostProvider
@@ -57,8 +59,32 @@ class Simulator:
         ``priorities`` to be a linear extension of the DAG order (upward
         ranks are); the default work-conserving mode skips blocked ops.
         """
+        tel = telemetry.active()
+        if tel is None:
+            return self._run(graph, priorities=priorities,
+                             resident_bytes=resident_bytes,
+                             capacities=capacities, trace=trace,
+                             strict=strict, tel=None)
+        with tel.span("simulate", graph=graph.name, ops=len(graph)):
+            return self._run(graph, priorities=priorities,
+                             resident_bytes=resident_bytes,
+                             capacities=capacities, trace=trace,
+                             strict=strict, tel=tel)
+
+    def _run(
+        self,
+        graph: DistGraph,
+        *,
+        priorities: Optional[Mapping[str, int]],
+        resident_bytes: Optional[Dict[str, int]],
+        capacities: Optional[Dict[str, int]],
+        trace: bool,
+        strict: bool,
+        tel: Optional["telemetry.Telemetry"],
+    ) -> SimulationResult:
         if strict and priorities is None:
             raise SimulationError("strict mode requires explicit priorities")
+        wall_start = time.perf_counter() if tel is not None else 0.0
 
         ops: Dict[str, DistOp] = {name: graph.op(name)
                                   for name in graph.op_names}
@@ -115,10 +141,15 @@ class Simulator:
         comm_intervals: List[Tuple[float, float]] = []
         compute_intervals: List[Tuple[float, float]] = []
         in_wait_queue: Dict[str, bool] = {}
+        # telemetry: when each op first became ready / where it last parked
+        ready_at: Dict[str, float] = {}
+        parked_on: Dict[str, str] = {}
 
         def try_start(name: str, prio: float) -> None:
             """Start ``name`` if possible; otherwise park it on the first
             busy resource it needs (or the strict-order head block)."""
+            if tel is not None and name not in ready_at:
+                ready_at[name] = now
             op = ops[name]
             blocked_on: Optional[str] = None
             for r in resources_of[name]:
@@ -138,6 +169,8 @@ class Simulator:
                     (prio, next(counter), name),
                 )
                 in_wait_queue[name] = True
+                if tel is not None:
+                    parked_on[name] = blocked_on
                 return
 
             advance_heads(name)
@@ -150,6 +183,19 @@ class Simulator:
                 )
             memory.on_start(op)
             started[name] = now
+            if tel is not None:
+                wait = now - ready_at.get(name, now)
+                tel.registry.histogram(
+                    "sim_queue_wait_seconds",
+                    help="simulated time ops spend ready but blocked",
+                ).observe(wait)
+                blocked = parked_on.pop(name, None)
+                if blocked is not None and wait > 0:
+                    tel.registry.counter(
+                        "sim_resource_wait_seconds_total",
+                        labels={"resource": blocked},
+                        help="simulated wait attributed to each resource",
+                    ).inc(wait)
             heapq.heappush(completions,
                            (now + duration, next(counter), name))
 
@@ -182,6 +228,11 @@ class Simulator:
             finished[name] = now
             executed += 1
             memory.on_finish(op)
+            if tel is not None:
+                tel.registry.counter(
+                    "sim_ops_total", labels={"kind": op.kind.value},
+                    help="dist-ops completed, by kind",
+                ).inc()
 
             begin = started[name]
             if op.is_compute:
@@ -228,4 +279,20 @@ class Simulator:
             result.schedule = {
                 n: (started[n], finished[n]) for n in started
             }
+        if tel is not None:
+            wall = time.perf_counter() - wall_start
+            reg = tel.registry
+            reg.counter("sim_runs_total",
+                        help="simulator invocations").inc()
+            reg.counter("sim_events_total",
+                        help="completion events processed").inc(executed)
+            reg.histogram("sim_run_wall_seconds",
+                          help="wall-clock per simulator run").observe(wall)
+            reg.histogram("sim_makespan_seconds",
+                          help="simulated iteration makespans").observe(now)
+            if wall > 0:
+                reg.gauge(
+                    "sim_events_per_second",
+                    help="events simulated per wall-clock second (last run)",
+                ).set(executed / wall)
         return result

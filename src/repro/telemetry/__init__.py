@@ -1,0 +1,124 @@
+"""``repro.telemetry`` — metrics, span tracing, critical-path attribution.
+
+The package has two faces:
+
+1. **Explicit objects** — :class:`MetricsRegistry`, :class:`Tracer` and
+   :func:`critical_path` can be constructed and used directly.
+2. **Ambient session** — instrumented modules (simulation engine,
+   execution engine, REINFORCE trainer, scheduler, the HeteroG facade)
+   call :func:`active` each run; it returns ``None`` unless a session
+   was opened with :func:`enable` or the :func:`session` context
+   manager, so the disabled-path cost is a single attribute read and
+   simulation results are bit-identical with telemetry off.
+
+Typical use::
+
+    from repro import telemetry
+
+    with telemetry.session() as tel:
+        result = engine.run_iteration(dist, schedule, resident, trace=True)
+        print(tel.registry.to_prometheus())
+        tel.tracer.save_jsonl("spans.jsonl")
+        report = telemetry.critical_path(dist, result)
+        print(report.summary())
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from .critical_path import (
+    IDLE_KEY,
+    CriticalPathReport,
+    PathSegment,
+    blame_resource,
+    critical_path,
+)
+from .registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracer import _NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "Span",
+    "Tracer",
+    "CriticalPathReport",
+    "PathSegment",
+    "critical_path",
+    "blame_resource",
+    "IDLE_KEY",
+    "Telemetry",
+    "active",
+    "enable",
+    "disable",
+    "session",
+    "span",
+]
+
+
+@dataclass
+class Telemetry:
+    """One telemetry session: a registry plus a tracer."""
+
+    registry: MetricsRegistry
+    tracer: Tracer
+
+    def span(self, name: str, **attrs):
+        return self.tracer.span(name, **attrs)
+
+
+_ACTIVE: Optional[Telemetry] = None
+
+
+def active() -> Optional[Telemetry]:
+    """The ambient session, or ``None`` when telemetry is disabled."""
+    return _ACTIVE
+
+
+def enable(registry: Optional[MetricsRegistry] = None,
+           tracer: Optional[Tracer] = None) -> Telemetry:
+    """Open (or replace) the ambient telemetry session."""
+    global _ACTIVE
+    _ACTIVE = Telemetry(
+        registry=registry if registry is not None else MetricsRegistry(),
+        tracer=tracer if tracer is not None else Tracer(),
+    )
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Close the ambient session (instrumentation becomes a no-op)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def span(name: str, **attrs):
+    """Span on the ambient tracer; a shared no-op when disabled."""
+    tel = _ACTIVE
+    if tel is None:
+        return _NULL_SPAN
+    return tel.tracer.span(name, **attrs)
+
+
+@contextlib.contextmanager
+def session(registry: Optional[MetricsRegistry] = None,
+            tracer: Optional[Tracer] = None) -> Iterator[Telemetry]:
+    """Scoped telemetry: enable on entry, restore the prior state on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    tel = enable(registry, tracer)
+    try:
+        yield tel
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,202 @@
+"""Nested-span tracing with a context-manager API.
+
+A :class:`Tracer` records wall-clock spans organised into a tree (one
+stack per thread, so concurrent threads trace independently).  Spans are
+near-zero cost when the tracer is disabled: ``span()`` returns a shared
+no-op context manager without allocating anything.
+
+Export surfaces:
+
+- :meth:`Tracer.to_events` — flat list of span dicts;
+- :meth:`Tracer.save_jsonl` — one JSON object per line (stream-friendly);
+- :meth:`Tracer.span_tree` — nested parent/children structure;
+- :meth:`Tracer.chrome_events` — ``ph: "X"`` slices for chrome://tracing.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+
+class Span:
+    """One timed region.  Use as a context manager via ``Tracer.span``."""
+
+    __slots__ = ("tracer", "name", "attrs", "span_id", "parent_id",
+                 "thread_id", "start", "end")
+
+    def __init__(self, tracer: "Tracer", name: str, span_id: int,
+                 parent_id: Optional[int], thread_id: int,
+                 attrs: Dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread_id = thread_id
+        self.start = 0.0
+        self.end: Optional[float] = None
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else
+                self.tracer._now()) - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes to a live span."""
+        self.attrs.update(attrs)
+        return self
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "Span":
+        self.start = self.tracer._now()
+        self.tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = self.tracer._now()
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        self.tracer._pop(self)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread_id": self.thread_id,
+            "start": self.start,
+            "end": self.end,
+            "duration": None if self.end is None else self.end - self.start,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+    def set(self, **attrs: Any) -> "_NullSpan":  # noqa: ARG002
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects a tree of spans; thread-safe; cheap when disabled."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._epoch = time.perf_counter()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+
+    # ------------------------------------------------------------------ #
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        with self._lock:
+            self._spans.append(span)
+
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, **attrs: Any):
+        """Open a nested span: ``with tracer.span("search", model=m): ...``"""
+        if not self.enabled:
+            return _NULL_SPAN
+        stack = self._stack()
+        parent_id = stack[-1].span_id if stack else None
+        return Span(self, name, next(self._ids), parent_id,
+                    threading.get_ident(), dict(attrs))
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # ------------------------------------------------------------------ #
+    def to_events(self) -> List[Dict[str, Any]]:
+        """Completed spans as dicts, ordered by start time."""
+        with self._lock:
+            spans = list(self._spans)
+        return [s.to_dict() for s in sorted(spans, key=lambda s: s.start)]
+
+    def save_jsonl(self, path: str) -> None:
+        """One JSON object per line — tail-able while a run progresses."""
+        with open(path, "w") as fh:
+            for event in self.to_events():
+                fh.write(json.dumps(event) + "\n")
+
+    def span_tree(self) -> List[Dict[str, Any]]:
+        """Spans nested under their parents (list of root spans)."""
+        events = self.to_events()
+        by_id = {e["span_id"]: dict(e, children=[]) for e in events}
+        roots: List[Dict[str, Any]] = []
+        for event in events:
+            node = by_id[event["span_id"]]
+            parent = by_id.get(event["parent_id"])
+            if parent is not None:
+                parent["children"].append(node)
+            else:
+                roots.append(node)
+        return roots
+
+    def chrome_events(self, pid: int = 1,
+                      process_name: str = "pipeline") -> List[Dict[str, Any]]:
+        """Complete-event slices (+ metadata) for chrome://tracing."""
+        events: List[Dict[str, Any]] = [{
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": process_name},
+        }]
+        tids = sorted({e["thread_id"] for e in self.to_events()})
+        tid_of = {t: i for i, t in enumerate(tids)}
+        for i, thread in enumerate(tids):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": i,
+                "args": {"name": f"thread-{thread}"},
+            })
+        for e in self.to_events():
+            if e["end"] is None:
+                continue
+            args = {k: v for k, v in e["attrs"].items()
+                    if isinstance(v, (str, int, float, bool))}
+            events.append({
+                "name": e["name"], "cat": "span", "ph": "X",
+                "ts": e["start"] * 1e6,
+                "dur": (e["end"] - e["start"]) * 1e6,
+                "pid": pid, "tid": tid_of[e["thread_id"]],
+                "args": args,
+            })
+        return events

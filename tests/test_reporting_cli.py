@@ -55,9 +55,34 @@ class TestReporting:
     def test_chrome_trace_events(self, traced):
         _, _, _, dist, result = traced
         events = chrome_trace(dist, result)
-        assert len(events) == len(dist)
-        assert all(e["ph"] == "X" for e in events)
-        assert all(e["dur"] >= 0 for e in events)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == len(dist)
+        assert all(e["dur"] >= 0 for e in slices)
+
+    def test_chrome_trace_metadata_stable_tids(self, traced):
+        _, _, _, dist, result = traced
+        events = chrome_trace(dist, result)
+        meta = [e for e in events if e["ph"] == "M"]
+        thread_names = {e["tid"]: e["args"]["name"] for e in meta
+                        if e["name"] == "thread_name" and e["pid"] == 0}
+        # devices first (sorted), then links, then nccl
+        names = [thread_names[t] for t in sorted(thread_names)]
+        devices = [n for n in names if not n.startswith("link ")
+                   and n != "nccl"]
+        assert names[:len(devices)] == sorted(devices)
+        assert any(e["name"] == "process_name" for e in meta)
+        # slices reference the metadata tids
+        tids = {e["tid"] for e in events if e["ph"] == "X"}
+        assert tids <= set(thread_names)
+
+    def test_chrome_trace_flows_and_counters(self, traced):
+        _, _, _, dist, result = traced
+        events = chrome_trace(dist, result)
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert starts and len(starts) == len(finishes)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert any(e["name"].startswith("mem ") for e in counters)
 
     def test_save_chrome_trace(self, traced, tmp_path):
         _, _, _, dist, result = traced
@@ -113,6 +138,48 @@ class TestCLI:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestCLITrace:
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        out = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.json")
+        assert main(["trace", "transformer", "4gpu", "--preset", "tiny",
+                     "--episodes", "2", "-o", out,
+                     "--metrics-out", metrics]) == 0
+        captured = capsys.readouterr().out
+        assert "critical path" in captured
+        data = json.loads(open(out).read())
+        events = data["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert {"X", "M", "C", "s", "f"} <= phases
+        span_names = {e["name"] for e in events
+                      if e["ph"] == "X" and e["pid"] == 1}
+        assert "pipeline.search" in span_names
+        assert "pipeline.execute" in span_names
+        assert json.loads(open(metrics).read())["metrics"]
+
+    def test_trace_resolves_cluster_aliases(self, tmp_path):
+        out = str(tmp_path / "t.json")
+        assert main(["trace", "transformer", "cluster4", "--preset", "tiny",
+                     "--episodes", "1", "-o", out]) == 0
+
+    def test_trace_unknown_model_one_line_error(self, capsys):
+        assert main(["trace", "nosuchmodel", "8gpu"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_trace_unknown_cluster_one_line_error(self, capsys):
+        assert main(["trace", "resnet", "cluster99"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
 
 
 class TestCLIPlan:
