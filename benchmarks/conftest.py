@@ -18,6 +18,20 @@ import pytest
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="smoke mode: tiny models and minimal candidate counts "
+        "(used by the CI evaluator-throughput step)",
+    )
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when the suite runs in --quick (CI smoke) mode."""
+    return request.config.getoption("--quick")
+
+
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -12,6 +12,8 @@ Public surface:
 - ``repro.scheduling`` — execution-order scheduling.
 - ``repro.agent`` — GNN policy and REINFORCE strategy search.
 - ``repro.baselines`` — DP baselines and related-work schemes.
+- ``repro.plan`` — cached ExecutionPlan layer (PlanBuilder, PlanCache,
+  BatchEvaluator) shared by search, baselines and deployment.
 - ``repro.runtime`` — execution engine (testbed stand-in) and runner.
 - ``repro.telemetry`` — metrics registry, span tracing, critical-path
   attribution.
@@ -22,6 +24,7 @@ from . import (
     cluster,
     graph,
     parallel,
+    plan,
     profiling,
     runtime,
     scheduling,
@@ -63,6 +66,7 @@ __all__ = [
     "parallel",
     "scheduling",
     "agent",
+    "plan",
     "profiling",
     "runtime",
     "simulation",

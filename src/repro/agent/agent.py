@@ -45,6 +45,9 @@ class AgentConfig:
     use_seeds: bool = True
     use_order_scheduling: bool = True
     seed: int = 0
+    # worker processes for strategy evaluation (1 = serial in-process;
+    # results are bit-identical either way)
+    eval_workers: int = 1
 
     @staticmethod
     def paper_scale() -> "AgentConfig":
@@ -130,6 +133,7 @@ class HeteroGAgent:
                     entropy_weight=cfg.entropy_weight,
                     entropy_decay=cfg.entropy_decay,
                     use_seeds=cfg.use_seeds,
+                    eval_workers=cfg.eval_workers,
                 ),
                 seed=cfg.seed,
             )
@@ -155,6 +159,13 @@ class HeteroGAgent:
             if ctx.name == name:
                 return ctx
         raise StrategyError(f"unknown graph {name!r}")
+
+    def try_context(self, name: str) -> Optional[GraphContext]:
+        """Like :meth:`context`, but returns None for unknown graphs."""
+        for ctx in self._contexts:
+            if ctx.name == name:
+                return ctx
+        return None
 
     def profile(self, name: str) -> Profile:
         return self._profiles[name]

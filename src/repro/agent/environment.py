@@ -1,43 +1,31 @@
-"""The Strategy Maker's environment: compile -> schedule -> simulate.
+"""The Strategy Maker's environment: a thin veneer over the plan layer.
 
 The Simulator "estimates the per-iteration training time for setting
 rewards for GNN training, and also tracks memory usage on each device, to
 set bad rewards for strategies leading to memory overflow" (Sec. 3.3).
 All timings here come from the *profiler's* predictions — the testbed
 (TruthCostModel) is never consulted during strategy search.
+
+The actual compile -> schedule -> simulate chain lives in
+:class:`repro.plan.PlanBuilder`; this class only binds one to the agent's
+(graph, cluster, profile) context.  Resident bytes travel inside the
+:class:`~repro.plan.ExecutionPlan` (the old ``_last_resident``
+side-channel is gone), and repeated evaluations of the same strategy are
+served from the builder's fingerprint-keyed caches.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..cluster.topology import Cluster
-from ..errors import CompileError, SimulationError
 from ..graph.dag import ComputationGraph
-from ..parallel.compiler import GraphCompiler
 from ..parallel.distgraph import DistGraph
 from ..parallel.strategy import Strategy
+from ..plan import EvalOutcome, ExecutionPlan, PlanBuilder
 from ..profiling.profiler import Profile
-from ..scheduling.list_scheduler import FifoScheduler, ListScheduler
-from ..simulation.costs import ProfileCostModel
-from ..simulation.engine import Simulator
-from ..simulation.metrics import SimulationResult
 
-
-@dataclass
-class EvalOutcome:
-    """Result of evaluating one strategy in the simulator."""
-
-    time: float                  # simulated per-iteration seconds
-    oom: bool
-    result: Optional[SimulationResult]
-    dist_ops: int
-    infeasible: bool = False    # compile/simulate failed outright
-
-    @property
-    def feasible(self) -> bool:
-        return not (self.oom or self.infeasible)
+__all__ = ["EvalOutcome", "StrategyEvaluator"]
 
 
 class StrategyEvaluator:
@@ -51,42 +39,21 @@ class StrategyEvaluator:
         self.profile = profile
         self.use_order_scheduling = use_order_scheduling
         self.group_of = group_of
-        self.cost = ProfileCostModel(cluster, profile)
-        self.capacities = {
-            d.device_id: d.usable_memory_bytes for d in cluster.devices
-        }
-        self._scheduler = ListScheduler() if use_order_scheduling else FifoScheduler()
-        self._simulator = Simulator(self.cost)
+        self.builder = PlanBuilder(
+            graph, cluster, profile,
+            use_order_scheduling=use_order_scheduling, group_of=group_of,
+        )
+        self.cost = self.builder.cost
+        self.capacities = self.builder.capacities
+
+    def plan(self, strategy: Strategy) -> ExecutionPlan:
+        """Compile + schedule a strategy into a cached ExecutionPlan."""
+        return self.builder.build(strategy)
 
     def compile(self, strategy: Strategy) -> DistGraph:
-        compiler = GraphCompiler(self.cluster, self.profile,
-                                 group_of=self.group_of)
-        dist = compiler.compile(self.graph, strategy)
-        self._last_resident = compiler.resident_bytes
-        return dist
+        """Compile a strategy; raises :class:`CompileError` if invalid."""
+        return self.builder.build(strategy).dist
 
     def evaluate(self, strategy: Strategy, *, trace: bool = False
                  ) -> EvalOutcome:
-        try:
-            dist = self.compile(strategy)
-        except CompileError:
-            return EvalOutcome(time=float("inf"), oom=False, result=None,
-                               dist_ops=0, infeasible=True)
-        schedule = self._scheduler.schedule(dist, self.cost)
-        try:
-            result = self._simulator.run(
-                dist,
-                priorities=schedule.priorities,
-                resident_bytes=self._last_resident,
-                capacities=self.capacities,
-                trace=trace,
-            )
-        except SimulationError:
-            return EvalOutcome(time=float("inf"), oom=False, result=None,
-                               dist_ops=len(dist), infeasible=True)
-        return EvalOutcome(
-            time=result.makespan,
-            oom=result.oom,
-            result=result,
-            dist_ops=len(dist),
-        )
+        return self.builder.evaluate(strategy, trace=trace)

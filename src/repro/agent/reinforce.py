@@ -21,6 +21,7 @@ from ..graph.grouping import Grouping
 from ..nn import functional as F
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
+from ..plan import BatchEvaluator
 from .environment import EvalOutcome, StrategyEvaluator
 from .policy import PolicyNetwork, actions_to_strategy
 from .reward import MovingAverageBaseline, compute_reward
@@ -70,6 +71,8 @@ class TrainerConfig:
     baseline_decay: float = 0.9
     clip_norm: float = 5.0
     use_seeds: bool = True
+    # worker processes for strategy evaluation; 1 = serial in-process
+    eval_workers: int = 1
 
 
 class ReinforceTrainer:
@@ -90,6 +93,10 @@ class ReinforceTrainer:
         self._seed_queues: Dict[str, List[np.ndarray]] = {}
         self._repair_attempts: Dict[str, int] = {}
         self._raw_seeds_pending: Dict[str, bool] = {}
+        self._batch = BatchEvaluator(
+            {ctx.name: ctx.evaluator.builder for ctx in self.contexts},
+            max_workers=config.eval_workers,
+        )
         if config.use_seeds:
             for ctx in self.contexts:
                 self._seed_queues[ctx.name] = seed_action_vectors(
@@ -108,6 +115,9 @@ class ReinforceTrainer:
         wall_start = time.perf_counter() if tel is not None else 0.0
         losses: List[Tensor] = []
         rewards: Dict[str, float] = {}
+        # Phase 1: sample one candidate per graph (policy RNG is touched
+        # only here, so batching the evaluations below cannot perturb it).
+        rollouts = []
         for ctx in self.contexts:
             if self._raw_seeds_pending.pop(ctx.name, False):
                 self._evaluate_raw_seeds(ctx)
@@ -122,7 +132,14 @@ class ReinforceTrainer:
             strategy = actions_to_strategy(
                 ctx.graph, ctx.evaluator.cluster, ctx.grouping, sample.actions
             )
-            outcome = ctx.evaluator.evaluate(strategy)
+            rollouts.append((ctx, sample, strategy))
+        # Phase 2: evaluate the rollout batch (cached + optionally parallel;
+        # bit-identical to evaluating serially in context order).
+        outcomes = self._batch.evaluate_pairs(
+            [(ctx.name, strategy) for ctx, _, strategy in rollouts]
+        )
+        # Phase 3: rewards, baselines and the policy-gradient loss.
+        for (ctx, sample, strategy), outcome in zip(rollouts, outcomes):
             self._maybe_repair_ladder(ctx, sample.actions, outcome)
             reward = compute_reward(outcome)
             ctx.record(sample.actions, outcome)
@@ -223,6 +240,10 @@ class ReinforceTrainer:
     def train(self, episodes: int) -> None:
         for _ in range(episodes):
             self.train_episode()
+
+    def close(self) -> None:
+        """Release the evaluation worker pool (no-op when serial)."""
+        self._batch.close()
 
     # ------------------------------------------------------------------ #
     def best_strategy(self, name: str):

@@ -16,12 +16,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..agent.environment import StrategyEvaluator
 from ..agent.policy import actions_to_strategy
 from ..cluster.topology import Cluster
 from ..graph.dag import ComputationGraph
 from ..graph.grouping import Grouping, group_operations
 from ..parallel.strategy import Strategy
+from ..plan import PlanBuilder
 from ..profiling.profiler import Profile, Profiler
 
 
@@ -45,7 +45,9 @@ class FlexFlowSearch:
         self.profile = profile or Profiler(seed=seed).profile(graph, cluster)
         avg = {op.name: op.flops for op in graph}
         self.grouping: Grouping = group_operations(graph, avg, max_groups)
-        self.evaluator = StrategyEvaluator(
+        # the MCMC walk revisits states, so the builder's outcome cache
+        # turns repeated proposals into dictionary lookups
+        self.builder = PlanBuilder(
             graph, cluster, self.profile,
             use_order_scheduling=False,  # FlexFlow keeps default order
             group_of=self.grouping.group_of,
@@ -58,7 +60,7 @@ class FlexFlowSearch:
     def _evaluate(self, actions: np.ndarray) -> float:
         strategy = actions_to_strategy(self.graph, self.cluster,
                                        self.grouping, actions)
-        outcome = self.evaluator.evaluate(strategy)
+        outcome = self.builder.evaluate(strategy)
         if not outcome.feasible:
             return float("inf")
         return outcome.time

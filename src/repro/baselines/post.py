@@ -18,12 +18,12 @@ from typing import List, Optional
 
 import numpy as np
 
-from ..agent.environment import StrategyEvaluator
 from ..agent.policy import actions_to_strategy
 from ..cluster.topology import Cluster
 from ..graph.dag import ComputationGraph
 from ..graph.grouping import Grouping, group_operations
 from ..parallel.strategy import Strategy
+from ..plan import BatchEvaluator, PlanBuilder
 from ..profiling.profiler import Profile, Profiler
 
 
@@ -40,24 +40,37 @@ class PostSearch:
 
     def __init__(self, graph: ComputationGraph, cluster: Cluster,
                  profile: Optional[Profile] = None, *, max_groups: int = 60,
-                 seed: int = 0):
+                 seed: int = 0, workers: int = 1):
         self.graph = graph
         self.cluster = cluster
         self.profile = profile or Profiler(seed=seed).profile(graph, cluster)
         avg = {op.name: op.flops for op in graph}
         self.grouping: Grouping = group_operations(graph, avg, max_groups)
-        self.evaluator = StrategyEvaluator(
+        self.builder = PlanBuilder(
             graph, cluster, self.profile,
             use_order_scheduling=False,
             group_of=self.grouping.group_of,
         )
+        # the samples of one CEM round are independent: evaluate them as
+        # a batch (parallel when workers > 1, identical results either way)
+        self.batch_evaluator = BatchEvaluator(self.builder,
+                                              max_workers=workers)
         self.rng = np.random.default_rng(seed)
 
     def _evaluate(self, placements: np.ndarray) -> float:
         strategy = actions_to_strategy(self.graph, self.cluster,
                                        self.grouping, placements)
-        outcome = self.evaluator.evaluate(strategy)
+        outcome = self.builder.evaluate(strategy)
         return outcome.time if outcome.feasible else float("inf")
+
+    def _evaluate_batch(self, batch: List[np.ndarray]) -> List[float]:
+        strategies = [
+            actions_to_strategy(self.graph, self.cluster, self.grouping,
+                                draws)
+            for draws in batch
+        ]
+        outcomes = self.batch_evaluator.evaluate(strategies)
+        return [o.time if o.feasible else float("inf") for o in outcomes]
 
     def search(self, rounds: int = 8, samples_per_round: int = 12,
                elite_fraction: float = 0.25,
@@ -70,16 +83,15 @@ class PostSearch:
         evaluations = 0
         num_elite = max(1, int(samples_per_round * elite_fraction))
         for _ in range(rounds):
-            batch: List[np.ndarray] = []
-            scores: List[float] = []
-            for _ in range(samples_per_round):
-                draws = np.array([
+            batch: List[np.ndarray] = [
+                np.array([
                     self.rng.choice(m, p=probs[g]) for g in range(n)
                 ])
-                time = self._evaluate(draws)
-                evaluations += 1
-                batch.append(draws)
-                scores.append(time)
+                for _ in range(samples_per_round)
+            ]
+            scores = self._evaluate_batch(batch)
+            evaluations += len(batch)
+            for draws, time in zip(batch, scores):
                 if time < best_time:
                     best, best_time = draws.copy(), time
             order = np.argsort(scores)[:num_elite]

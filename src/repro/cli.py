@@ -100,13 +100,18 @@ def cmd_clusters(args: argparse.Namespace) -> int:  # noqa: ARG001
 def cmd_plan(args: argparse.Namespace) -> int:
     """``repro plan``: run the strategy search for one model."""
     from .experiments import ExperimentContext
+    from .experiments.common import bench_agent_config
     from .reporting import describe_strategy
     cluster = CLUSTERS[args.cluster]()
     graph = build_model(args.model, args.preset)
     print(f"searching strategy for {graph.name} on {cluster} "
-          f"({args.episodes} episodes)...", file=sys.stderr)
+          f"({args.episodes} episodes, {args.workers} eval worker(s))...",
+          file=sys.stderr)
     ctx = ExperimentContext(cluster, seed=args.seed)
-    measured = ctx.run_heterog(graph, episodes=args.episodes)
+    config = bench_agent_config(args.seed)
+    config.eval_workers = args.workers
+    measured = ctx.run_heterog(graph, episodes=args.episodes,
+                               agent_config=config)
     print(f"per-iteration time : {measured.display_time} s")
     print(f"search time        : {measured.extras['search_seconds']:.1f} s")
     print(describe_strategy(measured.strategy))
@@ -240,6 +245,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("model", choices=sorted(ALL_MODELS))
     p.add_argument("--episodes", type=int, default=24)
+    p.add_argument("--workers", type=int, default=1,
+                   help="strategy-evaluation worker processes "
+                   "(default: 1 = serial; results are identical)")
     p.add_argument("--save", metavar="PATH",
                    help="save the strategy as JSON")
     p.set_defaults(func=cmd_plan)

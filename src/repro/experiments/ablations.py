@@ -128,7 +128,7 @@ def jitter_sensitivity(cluster: Cluster, model: str = "vgg19", *,
     ctx = ExperimentContext(cluster, seed=seed)
     strategy = dp_strategy("CP-AR", graph, cluster)
     deployment = make_deployment(graph, cluster, strategy,
-                                 profile=ctx.profile(graph))
+                                 builder=ctx.builder(graph))
     out: Dict[float, float] = {}
     for sigma in sigmas or [0.0, 0.02, 0.05, 0.1]:
         engine = ExecutionEngine(cluster, jitter_sigma=sigma, seed=seed)
@@ -148,27 +148,25 @@ def fusion_ablation(cluster: Cluster, model: str = "resnet200", *,
     per-collective launch overhead hundreds of times; over-fusion delays
     the first collective until every gradient is ready."""
     from ..baselines import dp_strategy
-    from ..parallel.compiler import GraphCompiler
     from ..parallel.fusion import count_collectives, fuse_allreduces
     from ..runtime.execution_engine import ExecutionEngine
     from ..scheduling.list_scheduler import ListScheduler
-    from ..simulation.costs import ProfileCostModel
 
     preset = preset or env_preset()
     graph = build_model(model, preset)
     ctx = ExperimentContext(cluster, seed=seed)
-    profile = ctx.profile(graph)
-    compiler = GraphCompiler(cluster, profile)
-    dist = compiler.compile(graph, dp_strategy("EV-AR", graph, cluster))
-    cost = ProfileCostModel(cluster, profile)
+    builder = ctx.builder(graph)
+    # compile-only: the fused variants re-schedule a transformed graph,
+    # which is exactly what PlanBuilder.compile exists for
+    dist, resident = builder.compile(dp_strategy("EV-AR", graph, cluster))
+    cost = builder.cost
     engine = ExecutionEngine(cluster, seed=seed + 1)
 
     rows: List[AblationRow] = []
 
     def measure(graph_, label):
         schedule = ListScheduler().schedule(graph_, cost)
-        stats = engine.measure(graph_, schedule, compiler.resident_bytes,
-                               iterations=3)
+        stats = engine.measure(graph_, schedule, resident, iterations=3)
         rows.append(AblationRow(variant=label, time=stats.mean))
 
     measure(dist, f"unfused ({count_collectives(dist)} collectives)")

@@ -20,6 +20,7 @@ from ..errors import OutOfMemoryError
 from ..graph.dag import ComputationGraph
 from ..graph.models import build_model
 from ..parallel.strategy import Strategy
+from ..plan import PlanBuilder
 from ..profiling.profiler import Profile, Profiler
 from ..runtime.deployment import make_deployment
 from ..runtime.execution_engine import ExecutionEngine
@@ -106,12 +107,14 @@ class MeasuredStrategy:
 
 
 class ExperimentContext:
-    """Caches profiles/engines per (graph, cluster) across measurements."""
+    """Caches profiles/plan-builders per (graph, cluster) across
+    measurements, so sweeps that revisit a strategy reuse its plan."""
 
     def __init__(self, cluster: Cluster, seed: int = 0):
         self.cluster = cluster
         self.seed = seed
         self._profiles: Dict[str, Profile] = {}
+        self._builders: Dict[Tuple[str, bool], PlanBuilder] = {}
 
     def profile(self, graph: ComputationGraph) -> Profile:
         if graph.name not in self._profiles:
@@ -120,14 +123,26 @@ class ExperimentContext:
             )
         return self._profiles[graph.name]
 
+    def builder(self, graph: ComputationGraph, *,
+                use_order_scheduling: bool = True) -> PlanBuilder:
+        """Shared PlanBuilder for (graph, order flag) on this cluster."""
+        key = (graph.name, use_order_scheduling)
+        if key not in self._builders:
+            self._builders[key] = PlanBuilder(
+                graph, self.cluster, self.profile(graph),
+                use_order_scheduling=use_order_scheduling,
+            )
+        return self._builders[key]
+
     def measure(self, graph: ComputationGraph, strategy: Strategy,
                 label: str, *, use_order_scheduling: bool = True,
                 iterations: Optional[int] = None) -> MeasuredStrategy:
         """Deploy + run a strategy on the engine; OOM becomes a row value."""
-        profile = self.profile(graph)
         deployment = make_deployment(
-            graph, self.cluster, strategy, profile=profile,
-            use_order_scheduling=use_order_scheduling,
+            graph, self.cluster, strategy,
+            builder=self.builder(
+                graph, use_order_scheduling=use_order_scheduling
+            ),
         )
         engine = ExecutionEngine(self.cluster, seed=self.seed + 1)
         try:
@@ -166,6 +181,7 @@ class ExperimentContext:
         agent.train(episodes if episodes is not None else env_episodes())
         search_seconds = time.time() - start
         strategy = agent.best_strategy(graph.name)
+        agent.trainer.close()  # release eval workers, if any
         measured = self.measure(
             graph, strategy, "HeteroG",
             use_order_scheduling=use_order_scheduling,

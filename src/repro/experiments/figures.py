@@ -238,22 +238,21 @@ def _measure_hetpipe(ctx: ExperimentContext, graph, cluster
         strip_gradient_sync,
     )
     from ..errors import OutOfMemoryError
-    from ..parallel.compiler import GraphCompiler
     from ..parallel.pipeline import pipeline_graph
     from ..runtime.execution_engine import ExecutionEngine
     from ..scheduling.list_scheduler import FifoScheduler
 
     strategy = hetpipe_strategy(graph, cluster)
-    profile = ctx.profile(graph)
-    compiler = GraphCompiler(cluster, profile)
-    dist = compiler.compile(graph, strategy)
+    # compile-only plan-layer path: the pipeline transform reshapes the
+    # dist graph before scheduling, so the cached build() is no use here
+    dist, resident = ctx.builder(graph).compile(strategy)
     piped = pipeline_graph(dist, 8)
     compute_only, grad_bytes = strip_gradient_sync(piped)
     schedule = FifoScheduler(seed=ctx.seed).schedule(compute_only, None)
     engine = ExecutionEngine(cluster, seed=ctx.seed + 1)
     try:
         stats = engine.measure(compute_only, schedule,
-                               compiler.resident_bytes,
+                               resident,
                                iterations=env_iterations())
     except OutOfMemoryError:
         return MeasuredStrategy(label="HetPipe", time=float("inf"),

@@ -78,16 +78,20 @@ class HeteroG:
             profile = self.agent.profile(graph.name)
         if profile is None:
             profile = self.profile(graph)
-        ctx_groups = None
-        try:
-            ctx_groups = self.agent.context(graph.name).grouping.group_of
-        except Exception:
-            ctx_groups = None
+        ctx = self.agent.try_context(graph.name)
+        ctx_groups = ctx.grouping.group_of if ctx is not None else None
+        # when deploying under the search's own profile, reuse the
+        # evaluator's PlanBuilder: the winning strategy's plan is usually
+        # already in its cache, so deploy costs a dictionary lookup
+        builder = None
+        if ctx is not None and profile is self.agent.profile(graph.name):
+            builder = ctx.evaluator.builder
         with telemetry.span("pipeline.schedule", graph=graph.name):
             return make_deployment(
                 graph, self.cluster, strategy, profile=profile,
                 use_order_scheduling=self.config.use_order_scheduling,
                 group_of=ctx_groups,
+                builder=builder,
             )
 
     def runner(self, deployment: Deployment) -> DistributedRunner:

@@ -73,16 +73,26 @@ def cp_ar_speed_fn(cluster: Cluster, seed: int = 0,
     expensive) oracle; CP-AR is a monotone proxy good enough to drive the
     outer allocation loop, as the paper suggests using HeteroG "as a
     blackbox".
+
+    One ExperimentContext is kept per candidate device set, so profiles
+    and compiled plans are reused when the allocator re-queries the same
+    sub-cluster for different jobs.
     """
+    contexts: Dict[Tuple[str, ...], ExperimentContext] = {}
 
     def speed(job: Job, devices: Sequence[str]) -> float:
-        sub = cluster.subcluster(list(devices))
+        sub_key = tuple(sorted(devices))
+        ctx = contexts.get(sub_key)
+        if ctx is None:
+            ctx = ExperimentContext(cluster.subcluster(list(devices)),
+                                    seed=seed)
+            contexts[sub_key] = ctx
+        sub = ctx.cluster
         if sub.num_devices == 1:
             from .parallel.strategy import single_device_strategy
             strategy = single_device_strategy(job.graph, sub)
         else:
             strategy = dp_strategy("CP-AR", job.graph, sub)
-        ctx = ExperimentContext(sub, seed=seed)
         measured = ctx.measure(job.graph, strategy, "CP-AR",
                                iterations=iterations)
         if measured.oom or measured.time <= 0:

@@ -1,0 +1,34 @@
+"""``repro.plan`` — the cached ExecutionPlan layer.
+
+One immutable artifact, :class:`ExecutionPlan` (DistGraph + schedule
+priorities + resident bytes + capacities + a content-addressed
+fingerprint), is the single currency between compilation, scheduling,
+simulation and deployment:
+
+- :class:`PlanBuilder` produces plans for one (graph, cluster, profile)
+  context and memoizes both plans and :class:`EvalOutcome`s in
+  fingerprint-keyed LRUs (:class:`PlanCache`), so repeated strategies in
+  REINFORCE episodes, MCMC walks and seed re-evaluations are free;
+- :class:`BatchEvaluator` evaluates lists of candidate strategies
+  concurrently over a process pool with deterministic, input-ordered
+  results (``max_workers=1`` falls back to the plain serial path).
+
+Cache behaviour is observable through the ``plan_cache_hits_total`` and
+``plan_cache_misses_total`` telemetry counters.
+"""
+
+from .batch import BatchEvaluator
+from .builder import PlanBuilder
+from .cache import PlanCache
+from .fingerprint import fingerprint_context, fingerprint_strategy
+from .plan import EvalOutcome, ExecutionPlan
+
+__all__ = [
+    "BatchEvaluator",
+    "EvalOutcome",
+    "ExecutionPlan",
+    "PlanBuilder",
+    "PlanCache",
+    "fingerprint_context",
+    "fingerprint_strategy",
+]

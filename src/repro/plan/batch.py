@@ -1,0 +1,161 @@
+"""BatchEvaluator: evaluate many candidate strategies concurrently.
+
+Strategy search is dominated by evaluator throughput (thousands of
+candidates per search).  The BatchEvaluator fans a list of candidates
+over a process pool while keeping the results bit-identical to the
+serial path:
+
+- results come back in input order, regardless of completion order;
+- every worker runs the exact deterministic PlanBuilder chain, so a
+  parallel evaluation equals a serial one value-for-value;
+- duplicate candidates inside one batch are evaluated once;
+- outcomes already cached by the parent builder are served without
+  touching the pool, and fresh worker results are folded back into the
+  parent's outcome cache;
+- ``max_workers=1`` (the default) bypasses multiprocessing entirely, and
+  any pool failure (restricted sandboxes, missing semaphores) degrades
+  to the serial path instead of erroring.
+
+Workers are primed once with the evaluation context(s) — graph, cluster,
+profile, scheduler flags — via the pool initializer; per-task payloads
+are only the portable dict form of each strategy.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..parallel.serialize import strategy_from_dict, strategy_to_dict
+from ..parallel.strategy import Strategy
+from .builder import PlanBuilder
+from .plan import EvalOutcome
+
+DEFAULT_CONTEXT = "default"
+
+# Per-process evaluation contexts, installed by the pool initializer.
+_WORKER_BUILDERS: Dict[str, PlanBuilder] = {}
+
+
+def _init_worker(payloads: Dict[str, tuple]) -> None:
+    _WORKER_BUILDERS.clear()
+    for name, (graph, cluster, profile, order, group_of) in payloads.items():
+        _WORKER_BUILDERS[name] = PlanBuilder(
+            graph, cluster, profile,
+            use_order_scheduling=order, group_of=group_of,
+        )
+
+
+def _worker_evaluate(context: str, strategy_dict: dict) -> EvalOutcome:
+    builder = _WORKER_BUILDERS[context]
+    strategy = strategy_from_dict(strategy_dict, builder.graph,
+                                  builder.cluster)
+    return builder.evaluate(strategy)
+
+
+class BatchEvaluator:
+    """Evaluates batches of strategies against one or more PlanBuilders."""
+
+    def __init__(self,
+                 builders: Union[PlanBuilder, Mapping[str, PlanBuilder]], *,
+                 max_workers: int = 1):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if isinstance(builders, PlanBuilder):
+            builders = {DEFAULT_CONTEXT: builders}
+        if not builders:
+            raise ValueError("BatchEvaluator needs at least one PlanBuilder")
+        self._builders: Dict[str, PlanBuilder] = dict(builders)
+        self.max_workers = max_workers
+        self._pool: Optional[concurrent.futures.ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    def evaluate(self, strategies: Sequence[Strategy],
+                 context: Optional[str] = None) -> List[EvalOutcome]:
+        """Evaluate candidates for one context, preserving input order."""
+        if context is None:
+            if len(self._builders) != 1:
+                raise ValueError(
+                    "multiple contexts registered; pass context= explicitly"
+                )
+            context = next(iter(self._builders))
+        return self.evaluate_pairs([(context, s) for s in strategies])
+
+    def evaluate_pairs(self, pairs: Sequence[Tuple[str, Strategy]]
+                       ) -> List[EvalOutcome]:
+        """Evaluate (context, strategy) pairs, preserving input order."""
+        results: List[Optional[EvalOutcome]] = [None] * len(pairs)
+        # (context, fingerprint) -> indices awaiting that evaluation
+        pending: Dict[Tuple[str, str], List[int]] = {}
+        todo: List[Tuple[str, Strategy, str]] = []
+        for i, (context, strategy) in enumerate(pairs):
+            builder = self._builders[context]
+            fp = builder.fingerprint(strategy)
+            key = (context, fp)
+            if key in pending:
+                pending[key].append(i)
+                continue
+            cached = builder.outcome_cache.get(fp)
+            if cached is not None:
+                results[i] = cached
+                continue
+            pending[key] = [i]
+            todo.append((context, strategy, fp))
+
+        if todo:
+            outcomes = self._evaluate_unique(todo)
+            for (context, _, fp), outcome in zip(todo, outcomes):
+                self._builders[context].seed_outcome(fp, outcome)
+                for i in pending[(context, fp)]:
+                    results[i] = outcome
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    def _evaluate_unique(self, todo: Sequence[Tuple[str, Strategy, str]]
+                         ) -> List[EvalOutcome]:
+        if self.max_workers == 1 or len(todo) == 1:
+            return self._evaluate_serial(todo)
+        try:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_worker_evaluate, context,
+                            strategy_to_dict(strategy))
+                for context, strategy, _ in todo
+            ]
+            return [f.result() for f in futures]
+        except (OSError, RuntimeError, BrokenProcessPool):
+            # restricted environments (no /dev/shm, fork disabled, ...)
+            self.close()
+            return self._evaluate_serial(todo)
+
+    def _evaluate_serial(self, todo: Sequence[Tuple[str, Strategy, str]]
+                         ) -> List[EvalOutcome]:
+        return [self._builders[context].evaluate(strategy)
+                for context, strategy, _ in todo]
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            payloads = {
+                name: (b.graph, b.cluster, b.profile,
+                       b.use_order_scheduling, b.group_of)
+                for name, b in self._builders.items()
+            }
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_init_worker,
+                initargs=(payloads,),
+            )
+        return self._pool
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "BatchEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,168 @@
+"""PlanBuilder: the one compile -> schedule -> simulate chain.
+
+Every consumer that previously wired :class:`GraphCompiler`,
+:class:`ListScheduler` and :class:`Simulator` together by hand (the
+Strategy Maker's environment, the FlexFlow/Post baselines, deployment)
+now asks a PlanBuilder instead.  The builder is bound to one
+(graph, cluster, profile) context, memoizes plans and evaluation
+outcomes by content fingerprint, and guarantees cached results are
+bit-identical to fresh ones (the whole chain is deterministic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from ..cluster.topology import Cluster
+from ..errors import CompileError, SimulationError
+from ..graph.dag import ComputationGraph
+from ..parallel.compiler import GraphCompiler
+from ..parallel.distgraph import DistGraph
+from ..parallel.strategy import Strategy
+from ..profiling.profiler import Profile, Profiler
+from ..scheduling.list_scheduler import FifoScheduler, ListScheduler
+from ..simulation.costs import ProfileCostModel
+from ..simulation.engine import Simulator
+from ..simulation.metrics import SimulationResult
+from .cache import PlanCache
+from .fingerprint import fingerprint_context, fingerprint_strategy
+from .plan import EvalOutcome, ExecutionPlan
+
+DEFAULT_PLAN_CACHE = 64
+DEFAULT_OUTCOME_CACHE = 4096
+
+
+class PlanBuilder:
+    """Builds and evaluates :class:`ExecutionPlan`s for one context."""
+
+    def __init__(self, graph: ComputationGraph, cluster: Cluster,
+                 profile: Optional[Profile] = None, *,
+                 use_order_scheduling: bool = True,
+                 group_of: Optional[Mapping[str, int]] = None,
+                 plan_cache_size: int = DEFAULT_PLAN_CACHE,
+                 outcome_cache_size: int = DEFAULT_OUTCOME_CACHE):
+        self.graph = graph
+        self.cluster = cluster
+        self.profile = profile if profile is not None else Profiler().profile(
+            graph, cluster
+        )
+        self.use_order_scheduling = use_order_scheduling
+        self.group_of = dict(group_of) if group_of is not None else None
+        self.cost = ProfileCostModel(cluster, self.profile)
+        self.capacities: Dict[str, int] = {
+            d.device_id: d.usable_memory_bytes for d in cluster.devices
+        }
+        self._scheduler = (ListScheduler() if use_order_scheduling
+                           else FifoScheduler())
+        self._simulator = Simulator(self.cost)
+        self.context_fingerprint = fingerprint_context(
+            graph, cluster, self.profile,
+            use_order_scheduling=use_order_scheduling, group_of=self.group_of,
+        )
+        self._plans = PlanCache(plan_cache_size, kind="plan")
+        self._outcomes = PlanCache(outcome_cache_size, kind="outcome")
+
+    # ------------------------------------------------------------------ #
+    def fingerprint(self, strategy: Strategy) -> str:
+        """Content fingerprint of ``strategy`` within this context."""
+        return fingerprint_strategy(self.context_fingerprint, strategy)
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._plans
+
+    @property
+    def outcome_cache(self) -> PlanCache:
+        return self._outcomes
+
+    # ------------------------------------------------------------------ #
+    def compile(self, strategy: Strategy) -> "tuple[DistGraph, Dict[str, int]]":
+        """Compile only: the dist graph plus per-device resident bytes.
+
+        Uncached — for consumers that post-process the dist graph
+        (gradient fusion, pipeline transforms) before scheduling it
+        themselves.  Standard consumers should use :meth:`build`.
+        """
+        compiler = GraphCompiler(self.cluster, self.profile,
+                                 group_of=self.group_of)
+        dist = compiler.compile(self.graph, strategy)
+        return dist, compiler.resident_bytes
+
+    def build(self, strategy: Strategy,
+              fingerprint: Optional[str] = None) -> ExecutionPlan:
+        """Compile + schedule ``strategy`` into a cached ExecutionPlan.
+
+        Raises :class:`CompileError` when the strategy cannot be
+        compiled (``evaluate`` turns that into an infeasible outcome).
+        """
+        fp = fingerprint or self.fingerprint(strategy)
+        cached = self._plans.get(fp)
+        if cached is not None:
+            return cached
+        dist, resident = self.compile(strategy)
+        schedule = self._scheduler.schedule(dist, self.cost)
+        plan = ExecutionPlan(
+            graph=self.graph, cluster=self.cluster, strategy=strategy,
+            dist=dist, schedule=schedule, resident_bytes=resident,
+            capacities=self.capacities, profile=self.profile,
+            fingerprint=fp,
+        )
+        self._plans.put(fp, plan)
+        return plan
+
+    # ------------------------------------------------------------------ #
+    def simulate(self, plan: ExecutionPlan, *,
+                 trace: bool = False) -> SimulationResult:
+        """Run the Strategy Maker's simulator over a plan."""
+        return self._simulator.run(
+            plan.dist,
+            priorities=plan.schedule.priorities,
+            resident_bytes=dict(plan.resident_bytes),
+            capacities=dict(plan.capacities),
+            trace=trace,
+        )
+
+    def evaluate(self, strategy: Strategy, *,
+                 trace: bool = False) -> EvalOutcome:
+        """Full evaluation with outcome memoization.
+
+        Infeasible and OOM outcomes are cached like feasible ones: a
+        strategy that failed to compile or overflowed memory is never
+        rebuilt or re-simulated.  ``trace=True`` bypasses the outcome
+        cache (the traced schedule is not retained in cached outcomes)
+        but still reuses the plan cache.
+        """
+        fp = self.fingerprint(strategy)
+        if not trace:
+            cached = self._outcomes.get(fp)
+            if cached is not None:
+                return cached
+        outcome = self._evaluate_fresh(strategy, fp, trace=trace)
+        if not trace:
+            self._outcomes.put(fp, outcome)
+        return outcome
+
+    def _evaluate_fresh(self, strategy: Strategy, fp: str, *,
+                        trace: bool) -> EvalOutcome:
+        try:
+            plan = self.build(strategy, fingerprint=fp)
+        except CompileError:
+            return EvalOutcome(time=float("inf"), oom=False, result=None,
+                               dist_ops=0, infeasible=True)
+        try:
+            result = self.simulate(plan, trace=trace)
+        except SimulationError:
+            return EvalOutcome(time=float("inf"), oom=False, result=None,
+                               dist_ops=plan.num_dist_ops, infeasible=True)
+        return EvalOutcome(
+            time=result.makespan,
+            oom=result.oom,
+            result=result,
+            dist_ops=plan.num_dist_ops,
+        )
+
+    # ------------------------------------------------------------------ #
+    def seed_outcome(self, fingerprint: str, outcome: EvalOutcome) -> None:
+        """Install an externally-computed outcome (e.g. from a worker
+        process) so later evaluations of the same strategy hit the cache."""
+        self._outcomes.put(fingerprint, outcome)

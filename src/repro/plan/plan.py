@@ -1,0 +1,61 @@
+"""The :class:`ExecutionPlan` artifact and evaluation outcome types.
+
+An ExecutionPlan is the single currency between compilation, scheduling,
+simulation and deployment: everything the Simulator or the
+ExecutionEngine needs to run one strategy, produced once by
+:class:`~repro.plan.builder.PlanBuilder` and safe to cache/share because
+nothing downstream mutates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from ..cluster.topology import Cluster
+from ..graph.dag import ComputationGraph
+from ..parallel.distgraph import DistGraph
+from ..parallel.strategy import Strategy
+from ..profiling.profiler import Profile
+from ..scheduling.list_scheduler import Schedule
+from ..simulation.metrics import SimulationResult
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One compiled + scheduled strategy, ready to simulate or execute.
+
+    Carries the resident bytes the compiler derived (parameters +
+    optimizer state per device) and the device capacities, so no hidden
+    state needs to flow alongside it — this replaces the old
+    ``StrategyEvaluator._last_resident`` side-channel.
+    """
+
+    graph: ComputationGraph
+    cluster: Cluster
+    strategy: Strategy
+    dist: DistGraph
+    schedule: Schedule
+    resident_bytes: Mapping[str, int]
+    capacities: Mapping[str, int]
+    profile: Profile
+    fingerprint: str
+
+    @property
+    def num_dist_ops(self) -> int:
+        return len(self.dist)
+
+
+@dataclass
+class EvalOutcome:
+    """Result of evaluating one strategy in the simulator."""
+
+    time: float                  # simulated per-iteration seconds
+    oom: bool
+    result: Optional[SimulationResult]
+    dist_ops: int
+    infeasible: bool = False    # compile/simulate failed outright
+
+    @property
+    def feasible(self) -> bool:
+        return not (self.oom or self.infeasible)

@@ -1,6 +1,6 @@
 """Runtime: execution engine (testbed stand-in), deployments, runner."""
 
-from .deployment import Deployment, make_deployment
+from .deployment import Deployment, deployment_from_plan, make_deployment
 from .execution_engine import ExecutionEngine, IterationStats
 from .runner import DistributedRunner, TrainingReport
 from .trainer_loop import (
@@ -11,6 +11,7 @@ from .trainer_loop import (
 
 __all__ = [
     "Deployment",
+    "deployment_from_plan",
     "make_deployment",
     "ExecutionEngine",
     "IterationStats",

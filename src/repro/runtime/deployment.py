@@ -1,4 +1,11 @@
-"""Deployment bundle: compiled graph + schedule + placement metadata."""
+"""Deployment bundle: compiled graph + schedule + placement metadata.
+
+``make_deployment`` is a thin wrapper over the plan layer: the actual
+compile -> schedule chain runs inside :class:`repro.plan.PlanBuilder`,
+and a :class:`Deployment` is just an :class:`~repro.plan.ExecutionPlan`
+re-shaped for the execution engine (plus the plan itself, for consumers
+that want the fingerprint or capacities).
+"""
 
 from __future__ import annotations
 
@@ -7,12 +14,11 @@ from typing import Dict, Optional
 
 from ..cluster.topology import Cluster
 from ..graph.dag import ComputationGraph
-from ..parallel.compiler import GraphCompiler
 from ..parallel.distgraph import DistGraph
 from ..parallel.strategy import Strategy
-from ..profiling.profiler import Profile, Profiler
-from ..scheduling.list_scheduler import FifoScheduler, ListScheduler, Schedule
-from ..simulation.costs import ProfileCostModel
+from ..plan import ExecutionPlan, PlanBuilder
+from ..profiling.profiler import Profile
+from ..scheduling.list_scheduler import Schedule
 
 
 @dataclass
@@ -26,31 +32,41 @@ class Deployment:
     schedule: Schedule
     resident_bytes: Dict[str, int]
     profile: Profile
+    plan: Optional[ExecutionPlan] = None
 
     @property
     def num_dist_ops(self) -> int:
         return len(self.dist)
 
 
+def deployment_from_plan(plan: ExecutionPlan) -> Deployment:
+    """Re-shape an ExecutionPlan into the engine-facing Deployment."""
+    return Deployment(
+        graph=plan.graph,
+        cluster=plan.cluster,
+        strategy=plan.strategy,
+        dist=plan.dist,
+        schedule=plan.schedule,
+        resident_bytes=dict(plan.resident_bytes),
+        profile=plan.profile,
+        plan=plan,
+    )
+
+
 def make_deployment(graph: ComputationGraph, cluster: Cluster,
                     strategy: Strategy, *,
                     profile: Optional[Profile] = None,
                     use_order_scheduling: bool = True,
-                    group_of: Optional[Dict[str, int]] = None) -> Deployment:
-    """Compile + schedule a strategy into a runnable deployment."""
-    if profile is None:
-        profile = Profiler().profile(graph, cluster)
-    compiler = GraphCompiler(cluster, profile, group_of=group_of)
-    dist = compiler.compile(graph, strategy)
-    cost = ProfileCostModel(cluster, profile)
-    scheduler = ListScheduler() if use_order_scheduling else FifoScheduler()
-    schedule = scheduler.schedule(dist, cost)
-    return Deployment(
-        graph=graph,
-        cluster=cluster,
-        strategy=strategy,
-        dist=dist,
-        schedule=schedule,
-        resident_bytes=compiler.resident_bytes,
-        profile=profile,
-    )
+                    group_of: Optional[Dict[str, int]] = None,
+                    builder: Optional[PlanBuilder] = None) -> Deployment:
+    """Compile + schedule a strategy into a runnable deployment.
+
+    Pass ``builder`` to reuse an existing :class:`PlanBuilder` (and its
+    plan cache) instead of constructing a fresh context.
+    """
+    if builder is None:
+        builder = PlanBuilder(
+            graph, cluster, profile,
+            use_order_scheduling=use_order_scheduling, group_of=group_of,
+        )
+    return deployment_from_plan(builder.build(strategy))

@@ -1,0 +1,268 @@
+"""The cached ExecutionPlan layer: fingerprints, caches, batch eval."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.baselines import DP_BASELINES, dp_strategy
+from repro.errors import CompileError
+from repro.parallel.strategy import single_device_strategy
+from repro.plan import BatchEvaluator, PlanBuilder, PlanCache
+from repro.profiling import MeasurementNoise, Profiler
+
+
+@pytest.fixture()
+def builder(mlp_graph, four_gpu, mlp_profile):
+    return PlanBuilder(mlp_graph, four_gpu, mlp_profile)
+
+
+def fresh_builder(mlp_graph, four_gpu, mlp_profile, **kwargs):
+    return PlanBuilder(mlp_graph, four_gpu, mlp_profile, **kwargs)
+
+
+# --------------------------------------------------------------------- #
+# fingerprints
+# --------------------------------------------------------------------- #
+class TestFingerprint:
+    def test_stable_across_rebuilds(self, mlp_graph, four_gpu, mlp_profile,
+                                    builder):
+        s1 = dp_strategy("EV-AR", mlp_graph, four_gpu)
+        s2 = dp_strategy("EV-AR", mlp_graph, four_gpu)
+        assert builder.fingerprint(s1) == builder.fingerprint(s2)
+        other = fresh_builder(mlp_graph, four_gpu, mlp_profile)
+        assert other.fingerprint(s1) == builder.fingerprint(s1)
+
+    def test_distinct_strategies_distinct_fingerprints(self, mlp_graph,
+                                                       four_gpu, builder):
+        fps = {
+            builder.fingerprint(dp_strategy(name, mlp_graph, four_gpu))
+            for name in DP_BASELINES
+        }
+        fps.add(builder.fingerprint(
+            single_device_strategy(mlp_graph, four_gpu)))
+        assert len(fps) == len(DP_BASELINES) + 1
+
+    def test_context_changes_fingerprint(self, mlp_graph, four_gpu,
+                                         mlp_profile, builder):
+        s = dp_strategy("CP-AR", mlp_graph, four_gpu)
+        fifo = fresh_builder(mlp_graph, four_gpu, mlp_profile,
+                             use_order_scheduling=False)
+        assert fifo.context_fingerprint != builder.context_fingerprint
+        assert fifo.fingerprint(s) != builder.fingerprint(s)
+
+    def test_profile_changes_fingerprint(self, mlp_graph, four_gpu,
+                                         mlp_profile, builder):
+        noisy = Profiler(noise=MeasurementNoise(0.3), seed=7).profile(
+            mlp_graph, four_gpu
+        )
+        other = PlanBuilder(mlp_graph, four_gpu, noisy)
+        s = dp_strategy("EV-PS", mlp_graph, four_gpu)
+        assert other.fingerprint(s) != builder.fingerprint(s)
+
+
+# --------------------------------------------------------------------- #
+# PlanCache
+# --------------------------------------------------------------------- #
+class TestPlanCache:
+    def test_lru_eviction_order(self):
+        cache = PlanCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a": "b" is now LRU
+        cache.put("c", 3)
+        assert "b" not in cache
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+    def test_hit_miss_accounting(self):
+        cache = PlanCache(4)
+        assert cache.get("x") is None
+        cache.put("x", 42)
+        assert cache.get("x") == 42
+        assert (cache.hits, cache.misses) == (1, 1)  # miss before the put
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_rejects_degenerate_size(self):
+        with pytest.raises(ValueError):
+            PlanCache(0)
+
+
+# --------------------------------------------------------------------- #
+# cached vs fresh evaluation
+# --------------------------------------------------------------------- #
+class TestEvaluationCaching:
+    def test_cache_hit_equals_uncached(self, mlp_graph, four_gpu,
+                                       mlp_profile, builder):
+        s = dp_strategy("EV-AR", mlp_graph, four_gpu)
+        first = builder.evaluate(s)
+        second = builder.evaluate(s)
+        assert second is first  # served from the outcome cache
+        assert builder.outcome_cache.hits == 1
+
+        uncached = fresh_builder(mlp_graph, four_gpu, mlp_profile).evaluate(s)
+        assert uncached.time == first.time
+        assert uncached.oom == first.oom
+        assert uncached.infeasible == first.infeasible
+        assert uncached.dist_ops == first.dist_ops
+
+    def test_plan_reused_across_strategies(self, mlp_graph, four_gpu,
+                                           builder):
+        s = dp_strategy("CP-PS", mlp_graph, four_gpu)
+        plan1 = builder.build(s)
+        plan2 = builder.build(dp_strategy("CP-PS", mlp_graph, four_gpu))
+        assert plan2 is plan1
+        assert plan1.fingerprint == builder.fingerprint(s)
+
+    def test_trace_bypasses_outcome_cache(self, mlp_graph, four_gpu,
+                                          builder):
+        s = dp_strategy("EV-PS", mlp_graph, four_gpu)
+        cached = builder.evaluate(s)
+        traced = builder.evaluate(s, trace=True)
+        assert traced is not cached
+        assert traced.time == cached.time
+        assert traced.result.device_busy  # traced run keeps the schedule
+
+    def test_infeasible_not_recompiled(self, mlp_graph, four_gpu,
+                                       mlp_profile, monkeypatch):
+        from repro.plan import builder as builder_mod
+
+        calls = {"n": 0}
+
+        def failing_compile(self, graph, strategy):
+            calls["n"] += 1
+            raise CompileError("forced failure")
+
+        monkeypatch.setattr(builder_mod.GraphCompiler, "compile",
+                            failing_compile)
+        b = fresh_builder(mlp_graph, four_gpu, mlp_profile)
+        s = dp_strategy("EV-AR", mlp_graph, four_gpu)
+        first = b.evaluate(s)
+        assert first.infeasible and not first.feasible
+        assert first.time == float("inf")
+        second = b.evaluate(s)
+        assert second is first
+        assert calls["n"] == 1  # the failure itself was cached
+
+    def test_oom_outcome_cached(self, mlp_graph, four_gpu, mlp_profile):
+        b = fresh_builder(mlp_graph, four_gpu, mlp_profile)
+        for dev in b.capacities:
+            b.capacities[dev] = 1  # nothing fits
+        s = dp_strategy("EV-AR", mlp_graph, four_gpu)
+        first = b.evaluate(s)
+        assert first.oom and not first.feasible
+        second = b.evaluate(s)
+        assert second is first
+        assert b.outcome_cache.hits == 1
+
+
+# --------------------------------------------------------------------- #
+# BatchEvaluator
+# --------------------------------------------------------------------- #
+class TestBatchEvaluator:
+    def candidates(self, graph, cluster):
+        strategies = [dp_strategy(n, graph, cluster) for n in DP_BASELINES]
+        strategies.append(single_device_strategy(graph, cluster))
+        return strategies
+
+    def test_parallel_matches_serial(self, mlp_graph, four_gpu, mlp_profile):
+        strategies = self.candidates(mlp_graph, four_gpu)
+        serial = [
+            fresh_builder(mlp_graph, four_gpu, mlp_profile).evaluate(s)
+            for s in strategies
+        ]
+        with BatchEvaluator(fresh_builder(mlp_graph, four_gpu, mlp_profile),
+                            max_workers=2) as batch:
+            parallel = batch.evaluate(strategies)
+        assert [o.time for o in parallel] == [o.time for o in serial]
+        assert [o.oom for o in parallel] == [o.oom for o in serial]
+        assert [o.dist_ops for o in parallel] == [o.dist_ops for o in serial]
+
+    def test_input_order_preserved(self, mlp_graph, four_gpu, mlp_profile):
+        strategies = self.candidates(mlp_graph, four_gpu)
+        b = fresh_builder(mlp_graph, four_gpu, mlp_profile)
+        batch = BatchEvaluator(b)
+        outcomes = batch.evaluate(strategies)
+        for s, outcome in zip(strategies, outcomes):
+            assert outcome.time == b.evaluate(s).time
+
+    def test_duplicates_evaluated_once(self, mlp_graph, four_gpu,
+                                       mlp_profile):
+        s = dp_strategy("EV-AR", mlp_graph, four_gpu)
+        b = fresh_builder(mlp_graph, four_gpu, mlp_profile)
+        batch = BatchEvaluator(b)
+        outcomes = batch.evaluate([s, s, s])
+        assert outcomes[0] is outcomes[1] is outcomes[2]
+        # one batch-level lookup plus the single fresh evaluation's own
+        # lookup -- NOT three evaluations
+        assert b.outcome_cache.misses == 2
+        assert b.outcome_cache.hits == 0
+
+    def test_parent_cache_served_and_seeded(self, mlp_graph, four_gpu,
+                                            mlp_profile):
+        strategies = self.candidates(mlp_graph, four_gpu)
+        b = fresh_builder(mlp_graph, four_gpu, mlp_profile)
+        warm = b.evaluate(strategies[0])
+        batch = BatchEvaluator(b)
+        outcomes = batch.evaluate(strategies)
+        assert outcomes[0] is warm  # pre-cached outcome reused verbatim
+        # fresh results were folded back into the parent cache
+        again = batch.evaluate(strategies)
+        assert [o.time for o in again] == [o.time for o in outcomes]
+        assert b.outcome_cache.hit_rate > 0
+
+    def test_multi_context_pairs(self, mlp_graph, tiny_vgg, four_gpu,
+                                 mlp_profile, vgg_profile):
+        evaluator = BatchEvaluator({
+            "mlp": PlanBuilder(mlp_graph, four_gpu, mlp_profile),
+            "vgg": PlanBuilder(tiny_vgg, four_gpu, vgg_profile),
+        })
+        pairs = [
+            ("mlp", dp_strategy("EV-AR", mlp_graph, four_gpu)),
+            ("vgg", dp_strategy("EV-AR", tiny_vgg, four_gpu)),
+            ("mlp", dp_strategy("CP-AR", mlp_graph, four_gpu)),
+        ]
+        outcomes = evaluator.evaluate_pairs(pairs)
+        assert len(outcomes) == 3
+        assert all(o.feasible for o in outcomes)
+        assert outcomes[0].time != outcomes[1].time  # different graphs
+
+    def test_context_required_when_ambiguous(self, mlp_graph, four_gpu,
+                                             mlp_profile):
+        evaluator = BatchEvaluator({
+            "a": fresh_builder(mlp_graph, four_gpu, mlp_profile),
+            "b": fresh_builder(mlp_graph, four_gpu, mlp_profile),
+        })
+        with pytest.raises(ValueError):
+            evaluator.evaluate([dp_strategy("EV-AR", mlp_graph, four_gpu)])
+
+    def test_rejects_bad_worker_count(self, builder):
+        with pytest.raises(ValueError):
+            BatchEvaluator(builder, max_workers=0)
+
+
+# --------------------------------------------------------------------- #
+# telemetry integration
+# --------------------------------------------------------------------- #
+class TestPlanTelemetry:
+    def test_cache_counters_exported(self, mlp_graph, four_gpu, mlp_profile):
+        s = dp_strategy("EV-AR", mlp_graph, four_gpu)
+        with telemetry.session() as tel:
+            b = fresh_builder(mlp_graph, four_gpu, mlp_profile)
+            b.evaluate(s)
+            b.evaluate(s)
+            hits = tel.registry.get("plan_cache_hits_total",
+                                    {"kind": "outcome"})
+            misses = tel.registry.get("plan_cache_misses_total",
+                                      {"kind": "outcome"})
+            assert hits is not None and hits.value == 1
+            assert misses is not None and misses.value >= 1
+
+    def test_counters_silent_without_session(self, mlp_graph, four_gpu,
+                                             builder):
+        # must not raise or create a registry when telemetry is disabled
+        builder.evaluate(dp_strategy("EV-AR", mlp_graph, four_gpu))
+        assert telemetry.active() is None
