@@ -64,7 +64,13 @@ class TensorSpec:
 
     @property
     def size_bytes(self) -> int:
-        return self.num_elements * DTYPE_BYTES
+        # memoized: specs are frozen and this is on the compiler's and
+        # cost models' hottest paths
+        cached = getattr(self, "_size_cache", None)
+        if cached is None:
+            cached = self.num_elements * DTYPE_BYTES
+            object.__setattr__(self, "_size_cache", cached)
+        return cached
 
     @property
     def batch_size(self) -> Optional[int]:

@@ -31,13 +31,14 @@ class DistOpKind(enum.Enum):
     APPLY = "apply"            # parameter update (compute)
 
 
+#: every kind except TRANSFER and ALLREDUCE executes on a single GPU
 _COMPUTE_KINDS = frozenset({
     DistOpKind.COMPUTE, DistOpKind.SPLIT, DistOpKind.CONCAT,
     DistOpKind.AGGREGATE, DistOpKind.APPLY,
 })
 
 
-@dataclass
+@dataclass(slots=True)
 class DistOp:
     """One node of the distributed training DAG."""
 
@@ -57,28 +58,35 @@ class DistOp:
     extra_resources: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
-        if self.kind in _COMPUTE_KINDS and not self.device:
-            raise CompileError(f"{self.kind.value} op {self.name!r} needs a device")
-        if self.kind is DistOpKind.TRANSFER:
+        # identity chains, not frozenset membership: Enum.__hash__ is a
+        # Python-level call and this runs once per op on the compile path
+        kind = self.kind
+        if kind is DistOpKind.TRANSFER:
             if not self.src_device or not self.dst_device:
                 raise CompileError(f"transfer {self.name!r} needs src and dst")
             if self.src_device == self.dst_device:
                 raise CompileError(
                     f"transfer {self.name!r} must cross devices"
                 )
-        if self.kind is DistOpKind.ALLREDUCE and len(self.devices) < 2:
-            raise CompileError(
-                f"allreduce {self.name!r} needs >=2 participants"
-            )
+        elif kind is DistOpKind.ALLREDUCE:
+            if len(self.devices) < 2:
+                raise CompileError(
+                    f"allreduce {self.name!r} needs >=2 participants"
+                )
+        elif not self.device:
+            raise CompileError(f"{kind.value} op {self.name!r} needs a device")
 
     # ------------------------------------------------------------------ #
     @property
     def is_compute(self) -> bool:
-        return self.kind in _COMPUTE_KINDS
+        kind = self.kind
+        return not (kind is DistOpKind.TRANSFER
+                    or kind is DistOpKind.ALLREDUCE)
 
     @property
     def is_communication(self) -> bool:
-        return self.kind in (DistOpKind.TRANSFER, DistOpKind.ALLREDUCE)
+        kind = self.kind
+        return kind is DistOpKind.TRANSFER or kind is DistOpKind.ALLREDUCE
 
     def resources(self) -> Tuple[str, ...]:
         """Exclusive resources this op occupies while executing."""
@@ -107,8 +115,24 @@ class DistGraph:
         self._ops: Dict[str, DistOp] = {}
         self._succ: Dict[str, List[str]] = {}
         self._pred: Dict[str, List[str]] = {}
+        self._edges: set = set()  # (src_id, dst_id) pairs, for O(1) dedupe
+        # integer mirror of the adjacency (op insertion order), kept in
+        # lock-step by add/add_edge so the simulation kernel can lower
+        # the graph without re-mapping every edge through a name table
+        self._id_of: Dict[str, int] = {}
+        self._succ_ids: List[List[int]] = []
+        self._pred_ids: List[List[int]] = []
         # original op name -> its compute instances (per device)
         self.instances: Dict[str, List[str]] = {}
+        # mutation stamp: lets repro.simulation.kernel cache one array
+        # lowering per graph and re-lower only after a change
+        self._version = 0
+        self._sim_kernel = None
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumped by add/add_edge)."""
+        return self._version
 
     # ------------------------------------------------------------------ #
     def add(self, op: DistOp, deps: Sequence[str] = ()) -> DistOp:
@@ -117,17 +141,29 @@ class DistGraph:
         self._ops[op.name] = op
         self._succ[op.name] = []
         self._pred[op.name] = []
+        self._id_of[op.name] = len(self._succ_ids)
+        self._succ_ids.append([])
+        self._pred_ids.append([])
+        self._version += 1
         for dep in deps:
             self.add_edge(dep, op.name)
         return op
 
     def add_edge(self, src: str, dst: str) -> None:
-        if src not in self._ops or dst not in self._ops:
+        id_of = self._id_of
+        si = id_of.get(src)
+        di = id_of.get(dst)
+        if si is None or di is None:
             raise CompileError(f"edge references unknown dist-op: {src}->{dst}")
-        if dst in self._succ[src]:
+        key = (si, di)
+        if key in self._edges:
             return
+        self._edges.add(key)
         self._succ[src].append(dst)
         self._pred[dst].append(src)
+        self._succ_ids[si].append(di)
+        self._pred_ids[di].append(si)
+        self._version += 1
 
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
@@ -173,7 +209,12 @@ class DistGraph:
         return order
 
     def validate(self) -> None:
-        self.topological_order()
+        # cycle detection via the array lowering: it runs the same Kahn
+        # pass on integer ids, and the kernel it builds is cached on the
+        # graph for the scheduler/simulator that run right after
+        from ..simulation.kernel import lower  # local: distgraph is lower-level
+        if lower(self).has_cycle:
+            raise CompileError(f"distributed graph {self.name!r} has a cycle")
 
     # ------------------------------------------------------------------ #
     def counts_by_kind(self) -> Dict[DistOpKind, int]:

@@ -81,11 +81,20 @@ class OpStrategy:
         Replicas each process ``1/total`` of the batch; multiple replicas
         of the same op on the same device are merged for costing purposes
         (their compute scales linearly with the combined batch share).
+
+        The mapping is computed once per strategy and shared across
+        callers; treat it as read-only.
         """
+        cached = getattr(self, "_shares_cache", None)
+        if cached is not None:
+            return cached
         if self.kind is ParallelKind.MP:
-            return {self.device: 1.0}  # type: ignore[dict-item]
-        total = self.total_replicas
-        return {d: c / total for d, c in self.replicas.items()}
+            shares = {self.device: 1.0}  # type: ignore[dict-item]
+        else:
+            total = self.total_replicas
+            shares = {d: c / total for d, c in self.replicas.items()}
+        object.__setattr__(self, "_shares_cache", shares)
+        return shares
 
     def label(self) -> str:
         """Human-readable strategy class, matching Table 2's columns."""
@@ -137,6 +146,10 @@ class Strategy:
         self.graph = graph
         self.cluster = cluster
         self._per_op: Dict[str, OpStrategy] = dict(per_op or {})
+        # op name -> (assigned strategy, its MP demotion); the compiler
+        # calls get() for every op instance, so the demoted OpStrategy is
+        # built once per assignment instead of once per call
+        self._demoted: Dict[str, tuple] = {}
         self._validate()
 
     def _validate(self) -> None:
@@ -155,6 +168,7 @@ class Strategy:
         if op_name not in self.graph:
             raise StrategyError(f"unknown op {op_name!r}")
         self._per_op[op_name] = strategy
+        self._demoted.pop(op_name, None)
 
     def get(self, op_name: str) -> OpStrategy:
         """Strategy for an op, demoting DP to MP for non-replicable ops."""
@@ -165,7 +179,11 @@ class Strategy:
         if st.kind is ParallelKind.DP and not op.is_replicable:
             # Sec. 5: ops without batch-scaled work are never replicated;
             # pin them to the strongest device of the chosen allocation.
-            return make_mp_strategy(st.devices()[0])
+            cached = self._demoted.get(op_name)
+            if cached is None or cached[0] is not st:
+                cached = (st, make_mp_strategy(st.devices()[0]))
+                self._demoted[op_name] = cached
+            return cached[1]
         return st
 
     def has(self, op_name: str) -> bool:

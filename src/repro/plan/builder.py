@@ -23,6 +23,7 @@ from ..profiling.profiler import Profile, Profiler
 from ..scheduling.list_scheduler import FifoScheduler, ListScheduler
 from ..simulation.costs import ProfileCostModel
 from ..simulation.engine import Simulator
+from ..simulation.kernel import lower
 from ..simulation.metrics import SimulationResult
 from .cache import PlanCache
 from .fingerprint import fingerprint_context, fingerprint_strategy
@@ -100,12 +101,18 @@ class PlanBuilder:
         if cached is not None:
             return cached
         dist, resident = self.compile(strategy)
-        schedule = self._scheduler.schedule(dist, self.cost)
+        # one array lowering serves ranking, both candidate-order
+        # simulations, and every later simulation of the cached plan
+        kernel = lower(dist)
+        schedule = self._scheduler.schedule(
+            dist, self.cost, kernel=kernel,
+            resident_bytes=resident, capacities=self.capacities,
+        )
         plan = ExecutionPlan(
             graph=self.graph, cluster=self.cluster, strategy=strategy,
             dist=dist, schedule=schedule, resident_bytes=resident,
             capacities=self.capacities, profile=self.profile,
-            fingerprint=fp,
+            fingerprint=fp, kernel=kernel, sim_result=schedule.sim_result,
         )
         self._plans.put(fp, plan)
         return plan
@@ -113,13 +120,22 @@ class PlanBuilder:
     # ------------------------------------------------------------------ #
     def simulate(self, plan: ExecutionPlan, *,
                  trace: bool = False) -> SimulationResult:
-        """Run the Strategy Maker's simulator over a plan."""
+        """Run the Strategy Maker's simulator over a plan.
+
+        Plans built by this builder already carry the chosen order's
+        simulation (``plan.sim_result``); call this only to re-simulate,
+        e.g. after mutating the dist graph.
+        """
+        kernel = plan.kernel
+        if kernel is not None and kernel.version != plan.dist.version:
+            kernel = None  # dist mutated since build: re-lower
         return self._simulator.run(
             plan.dist,
             priorities=plan.schedule.priorities,
             resident_bytes=dict(plan.resident_bytes),
             capacities=dict(plan.capacities),
             trace=trace,
+            kernel=kernel,
         )
 
     def evaluate(self, strategy: Strategy, *,
@@ -149,11 +165,17 @@ class PlanBuilder:
         except CompileError:
             return EvalOutcome(time=float("inf"), oom=False, result=None,
                                dist_ops=0, infeasible=True)
-        try:
-            result = self.simulate(plan, trace=trace)
-        except SimulationError:
-            return EvalOutcome(time=float("inf"), oom=False, result=None,
-                               dist_ops=plan.num_dist_ops, infeasible=True)
+        # single-pass scheduling: the winner of the scheduler's candidate
+        # race was already simulated (traced, under this plan's resident
+        # bytes and capacities) — reuse it instead of a third simulation
+        result = plan.sim_result
+        if result is None:
+            try:
+                result = self.simulate(plan, trace=trace)
+            except SimulationError:
+                return EvalOutcome(time=float("inf"), oom=False, result=None,
+                                   dist_ops=plan.num_dist_ops,
+                                   infeasible=True)
         return EvalOutcome(
             time=result.makespan,
             oom=result.oom,

@@ -18,6 +18,7 @@ from ..parallel.distgraph import DistGraph
 from ..parallel.strategy import Strategy
 from ..profiling.profiler import Profile
 from ..scheduling.list_scheduler import Schedule
+from ..simulation.kernel import SimKernel
 from ..simulation.metrics import SimulationResult
 
 
@@ -29,6 +30,13 @@ class ExecutionPlan:
     optimizer state per device) and the device capacities, so no hidden
     state needs to flow alongside it — this replaces the old
     ``StrategyEvaluator._last_resident`` side-channel.
+
+    ``kernel`` is the array lowering of ``dist`` shared by every
+    simulation of this plan (ranking and both candidate orders already
+    used it during scheduling).  ``sim_result`` is the winning candidate
+    order's traced simulation under this plan's resident bytes and
+    capacities — evaluating the plan reuses it instead of running the
+    simulator again.
     """
 
     graph: ComputationGraph
@@ -40,6 +48,8 @@ class ExecutionPlan:
     capacities: Mapping[str, int]
     profile: Profile
     fingerprint: str
+    kernel: Optional[SimKernel] = None
+    sim_result: Optional[SimulationResult] = None
 
     @property
     def num_dist_ops(self) -> int:

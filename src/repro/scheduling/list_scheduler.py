@@ -4,18 +4,28 @@ The Scheduler assigns every dist-op a priority derived from its upward
 rank; the execution engine then runs ready ops on each device/link in
 priority order.  ``TensorFlow``'s default behaviour — executing ops in the
 order they become ready — is the FIFO baseline of Table 7.
+
+Scheduling is *single-pass*: the two candidate-order simulations run on
+the graph's shared :class:`SimKernel` lowering, and the winning
+candidate's full :class:`SimulationResult` is returned on the
+:class:`Schedule` so the plan layer can reuse it instead of simulating
+the chosen order a third time.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
+
+import numpy as np
 
 from .. import telemetry
 from ..parallel.distgraph import DistGraph
 from ..simulation.costs import CostProvider
-from .ranking import DEFAULT_COMM_WEIGHT, compute_ranks
+from ..simulation.kernel import SimKernel, lower
+from ..simulation.metrics import SimulationResult
+from .ranking import DEFAULT_COMM_WEIGHT, kernel_ranks
 
 
 @dataclass(frozen=True)
@@ -26,6 +36,10 @@ class Schedule:
     ranks: Optional[Dict[str, float]] = None
     estimated_makespan: Optional[float] = None
     chosen: Optional[str] = None  # which candidate order won
+    # the winning candidate's simulation (traced), when the scheduler
+    # already ran it under the caller's resident_bytes/capacities —
+    # PlanBuilder reuses this instead of re-simulating the plan
+    sim_result: Optional[SimulationResult] = None
 
     @property
     def is_fifo(self) -> bool:
@@ -48,41 +62,70 @@ class ListScheduler:
 
     Both are schedules the paper's Scheduler could emit; simulating
     candidates is exactly what its Simulator component is for (Sec. 3.3).
+
+    The scheduler carries no per-call state, so one instance is safe to
+    share across threads (ranks travel on the returned Schedule, not on
+    the scheduler).
     """
 
     def __init__(self, comm_weight: float = DEFAULT_COMM_WEIGHT):
         self.comm_weight = comm_weight
 
-    def _rank_priorities(self, graph: DistGraph, cost: CostProvider
-                         ) -> Dict[str, int]:
-        ranks = compute_ranks(graph, cost, comm_weight=self.comm_weight)
+    def _rank_priorities(
+        self, kernel: SimKernel, cost: CostProvider
+    ) -> Tuple[Dict[str, int], Dict[str, float], "list[int]"]:
+        ranks = kernel_ranks(kernel, cost, comm_weight=self.comm_weight)
         # higher rank -> runs earlier; ties broken by topological position
         # for determinism (matching the engine's stable heap ordering)
-        topo_pos = {name: i for i, name in enumerate(graph.topological_order())}
-        ordered = sorted(
-            graph.op_names,
-            key=lambda n: (-ranks[n], topo_pos[n]),
-        )
-        self._last_ranks = ranks
-        return {name: i for i, name in enumerate(ordered)}
+        topo_pos = kernel.topo_positions()
+        # C-level sort key: precompute (-rank, topo_pos) tuples and index
+        # into them, instead of calling a Python lambda per comparison
+        sort_keys = list(zip([-r for r in ranks], topo_pos))
+        ordered = sorted(range(kernel.n), key=sort_keys.__getitem__)
+        prio_arr = [0] * kernel.n
+        for pos, i in enumerate(ordered):
+            prio_arr[i] = pos
+        names = kernel.names
+        priorities = dict(zip(names, prio_arr))
+        rank_map = {names[i]: ranks[i] for i in reversed(kernel.topo)}
+        return priorities, rank_map, prio_arr
 
     @staticmethod
     def _trace_order(schedule_trace: Dict[str, tuple]) -> Dict[str, int]:
         ordered = sorted(schedule_trace, key=lambda n: schedule_trace[n])
         return {name: i for i, name in enumerate(ordered)}
 
-    def schedule(self, graph: DistGraph, cost: CostProvider) -> Schedule:
+    def schedule(self, graph: DistGraph, cost: CostProvider, *,
+                 kernel: Optional[SimKernel] = None,
+                 resident_bytes: Optional[Dict[str, int]] = None,
+                 capacities: Optional[Dict[str, int]] = None) -> Schedule:
+        """Choose the better of the two candidate orders.
+
+        ``kernel`` reuses an existing lowering (otherwise taken from the
+        graph's cache).  When ``resident_bytes``/``capacities`` are
+        given, the candidate simulations account memory under them and
+        the winner's result — returned as ``Schedule.sim_result`` — is a
+        full evaluation of the chosen order.
+        """
         from ..simulation.engine import Simulator  # local: avoid cycle
         tel = telemetry.active()
+        kernel = kernel if kernel is not None else lower(graph)
         simulator = Simulator(cost)
         with telemetry.span("schedule.ranking", graph=graph.name):
             rank_start = time.perf_counter()
-            rank_priorities = self._rank_priorities(graph, cost)
+            rank_priorities, ranks, prio_arr = self._rank_priorities(
+                kernel, cost)
             rank_seconds = time.perf_counter() - rank_start
         with telemetry.span("schedule.placement", graph=graph.name):
             place_start = time.perf_counter()
-            rank_run = simulator.run(graph, priorities=rank_priorities)
-            earliest_run = simulator.run(graph, priorities=None, trace=True)
+            rank_run = simulator.run(graph, priorities=rank_priorities,
+                                     resident_bytes=resident_bytes,
+                                     capacities=capacities, trace=True,
+                                     kernel=kernel, _prio_ids=prio_arr)
+            earliest_run = simulator.run(graph, priorities=None,
+                                         resident_bytes=resident_bytes,
+                                         capacities=capacities, trace=True,
+                                         kernel=kernel)
             place_seconds = time.perf_counter() - place_start
         chosen = ("rank" if rank_run.makespan <= earliest_run.makespan
                   else "earliest")
@@ -98,14 +141,16 @@ class ListScheduler:
                         help="which candidate execution order won").inc()
         if chosen == "rank":
             return Schedule(priorities=rank_priorities,
-                            ranks=self._last_ranks,
+                            ranks=ranks,
                             estimated_makespan=rank_run.makespan,
-                            chosen="rank")
+                            chosen="rank",
+                            sim_result=rank_run)
         return Schedule(
             priorities=self._trace_order(earliest_run.schedule),
-            ranks=self._last_ranks,
+            ranks=ranks,
             estimated_makespan=earliest_run.makespan,
             chosen="earliest",
+            sim_result=earliest_run,
         )
 
 
@@ -127,10 +172,12 @@ class FifoScheduler:
         self.seed = seed
 
     def schedule(self, graph: DistGraph,
-                 cost: Optional[CostProvider] = None) -> Schedule:
+                 cost: Optional[CostProvider] = None, *,
+                 kernel: Optional[SimKernel] = None,
+                 resident_bytes: Optional[Dict[str, int]] = None,
+                 capacities: Optional[Dict[str, int]] = None) -> Schedule:
         if not self.randomize:
             return Schedule(priorities=None)
-        import numpy as np
         rng = np.random.default_rng(self.seed)
         names = graph.op_names
         order = rng.permutation(len(names))

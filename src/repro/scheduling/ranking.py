@@ -12,33 +12,67 @@ continues the backward chain.  Without it, every parameter-gradient op
 (tiny compute, short remaining path) is postponed behind the backward
 chain and all gradient aggregations serialize in a tail after BP — the
 exact pathology Figs. 1-2 of the paper illustrate.
+
+The computation runs over the graph's :class:`SimKernel` array lowering:
+the topological order, per-op durations (for deterministic cost
+providers) and successor adjacency are shared with the simulator instead
+of being re-derived per call.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 from ..parallel.distgraph import DistGraph
 from ..simulation.costs import CostProvider
+from ..simulation.kernel import SimKernel, lower
 
 #: default inflation of communication time in rank computation
 DEFAULT_COMM_WEIGHT = 4.0
 
 
-def compute_ranks(graph: DistGraph, cost: CostProvider,
-                  comm_weight: float = DEFAULT_COMM_WEIGHT
-                  ) -> Dict[str, float]:
-    """Upward rank of every dist-op under the given cost model."""
+def kernel_ranks(kernel: SimKernel, cost: CostProvider,
+                 comm_weight: float = DEFAULT_COMM_WEIGHT) -> "list[float]":
+    """Upward ranks indexed by kernel op index.
+
+    Shares the kernel's cached duration array when the cost provider is
+    deterministic; stochastic providers are queried in reverse
+    topological order (the same draw order the dict implementation
+    used).
+    """
     if comm_weight <= 0:
         raise ValueError(f"comm_weight must be positive, got {comm_weight}")
-    ranks: Dict[str, float] = {}
-    for name in reversed(graph.topological_order()):
-        op = graph.op(name)
-        duration = cost.duration(op)
-        if op.is_communication:
+    if kernel.has_cycle:
+        # raise the same CompileError the graph API raises for cycles
+        kernel.graph.topological_order()
+    durations = kernel.durations_for(cost)
+    is_comm = kernel.is_comm
+    succ = kernel.succ
+    ranks = [0.0] * kernel.n
+    cost_duration = cost.duration
+    ops = kernel.ops
+    for i in reversed(kernel.topo):
+        duration = durations[i] if durations is not None \
+            else cost_duration(ops[i])
+        if is_comm[i]:
             duration *= comm_weight
-        succ_rank = max(
-            (ranks[s] for s in graph.successors(name)), default=0.0
-        )
-        ranks[name] = duration + succ_rank
+        succ_rank = 0.0
+        for s in succ[i]:
+            rank = ranks[s]
+            if rank > succ_rank:
+                succ_rank = rank
+        ranks[i] = duration + succ_rank
     return ranks
+
+
+def compute_ranks(graph: DistGraph, cost: CostProvider,
+                  comm_weight: float = DEFAULT_COMM_WEIGHT, *,
+                  kernel: Optional[SimKernel] = None
+                  ) -> Dict[str, float]:
+    """Upward rank of every dist-op under the given cost model."""
+    kernel = kernel if kernel is not None else lower(graph)
+    ranks = kernel_ranks(kernel, cost, comm_weight)
+    names = kernel.names
+    # keyed in reverse topological order, matching the historical
+    # insertion order of the dict implementation
+    return {names[i]: ranks[i] for i in reversed(kernel.topo)}

@@ -2,6 +2,7 @@
 
 from .costs import CostProvider, ProfileCostModel, TruthCostModel
 from .engine import Simulator
+from .kernel import SimKernel, lower
 from .memory import MemoryTracker, charge_device, output_bytes
 from .metrics import SimulationResult, union_length
 
@@ -10,6 +11,8 @@ __all__ = [
     "ProfileCostModel",
     "TruthCostModel",
     "Simulator",
+    "SimKernel",
+    "lower",
     "SimulationResult",
     "MemoryTracker",
     "union_length",

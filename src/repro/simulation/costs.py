@@ -38,7 +38,16 @@ SENDRECV_OVERHEAD = 150e-6
 
 
 class CostProvider(Protocol):
-    """Interface the simulator uses to time dist-ops."""
+    """Interface the simulator uses to time dist-ops.
+
+    ``deterministic`` declares that ``duration`` is a pure function of
+    the op: the simulation kernel then prices every op once per lowering
+    and shares the array across ranking and repeated simulations.
+    Stochastic providers (per-execution jitter) must leave it False so
+    durations keep being drawn lazily in start order.
+    """
+
+    deterministic: bool = False
 
     def duration(self, op: DistOp) -> float: ...
 
@@ -70,9 +79,19 @@ class _BaseCost:
 class ProfileCostModel(_BaseCost):
     """Durations from the profiler's regression predictions."""
 
+    deterministic = True
+
     def __init__(self, cluster: Cluster, profile: Profile):
         super().__init__(cluster)
         self.profile = profile
+        # predictions are pure functions of their keys; candidates of the
+        # same model share most (op, device, share) triples and collective
+        # shapes, so one provider prices each distinct key once
+        self._op_time_cache: dict = {}
+        self._transfer_cache: dict = {}
+        self._allreduce_cache: dict = {}
+        self._spec_of = {d: self.cluster.device(d).spec
+                         for d in self.cluster.device_ids}
 
     def link_lookup(self, src: str, dst: str) -> Tuple[float, float]:
         model = self.profile.link_models.get((src, dst))
@@ -82,25 +101,42 @@ class ProfileCostModel(_BaseCost):
         return model.bandwidth, model.latency
 
     def duration(self, op: DistOp) -> float:
-        if op.kind in (DistOpKind.COMPUTE, DistOpKind.APPLY):
+        kind = op.kind
+        if kind is DistOpKind.COMPUTE or kind is DistOpKind.APPLY:
             assert op.source_op is not None and op.device is not None
-            return self.profile.op_time(op.source_op.name, op.device,
-                                        op.batch_fraction)
-        if op.kind in (DistOpKind.SPLIT, DistOpKind.CONCAT,
-                       DistOpKind.AGGREGATE):
+            key = (op.source_op.name, op.device, op.batch_fraction)
+            cache = self._op_time_cache
+            t = cache.get(key)
+            if t is None:
+                t = cache[key] = self.profile.op_time(*key)
+            return t
+        if kind is DistOpKind.TRANSFER:
+            key = (op.src_device, op.dst_device, op.size_bytes)
+            cache = self._transfer_cache
+            t = cache.get(key)
+            if t is None:
+                t = cache[key] = SENDRECV_OVERHEAD + \
+                    self.profile.transfer_time(*key)
+            return t
+        if kind is DistOpKind.ALLREDUCE:
+            key = (op.devices, op.size_bytes, op.hierarchical)
+            cache = self._allreduce_cache
+            t = cache.get(key)
+            if t is None:
+                t = cache[key] = self._allreduce(op)
+            return t
+        if (kind is DistOpKind.SPLIT or kind is DistOpKind.CONCAT
+                or kind is DistOpKind.AGGREGATE):
             assert op.device is not None
-            return _aux_compute_time(self._spec(op.device), op.size_bytes)
-        if op.kind is DistOpKind.TRANSFER:
-            return SENDRECV_OVERHEAD + self.profile.transfer_time(
-                op.src_device, op.dst_device, op.size_bytes)
-        if op.kind is DistOpKind.ALLREDUCE:
-            return self._allreduce(op)
+            return _aux_compute_time(self._spec_of[op.device], op.size_bytes)
         raise SimulationError(f"cannot cost op kind {op.kind}")
 
 
 class MappingCostModel:
     """Fixed per-op durations, for crafted instances (appendix worst case)
     and deterministic unit tests."""
+
+    deterministic = True
 
     def __init__(self, durations: dict, default: Optional[float] = None):
         self.durations = dict(durations)
@@ -137,6 +173,12 @@ class TruthCostModel(_BaseCost):
         self.jitter_sigma = jitter_sigma
         self.interserver_discount = interserver_discount
         self._rng = np.random.default_rng(seed)
+
+    @property
+    def deterministic(self) -> bool:
+        # with jitter the RNG must be drawn in op start order, so the
+        # kernel may not pre-evaluate durations
+        return self.jitter_sigma <= 0
 
     def _jitter(self) -> float:
         if self.jitter_sigma <= 0:

@@ -15,6 +15,21 @@ Work-conserving scheduling is implemented with per-resource wait queues:
 a ready-but-blocked op parks on the first busy resource it needs and is
 re-tried (in priority order) when that resource frees — O(1) amortized
 per event instead of rescanning every blocked op.
+
+Two interchangeable implementations run that model:
+
+- the **kernel engine** (default): operates on a :class:`SimKernel`
+  array lowering of the graph — integer op/resource ids, precomputed
+  adjacency, resources, activation sizes and (for deterministic cost
+  providers) durations.  One lowering is shared across ranking, both
+  candidate-order simulations and every re-simulation of a plan.
+- the **reference engine** (``engine="reference"``): the original
+  string-keyed event loop, kept verbatim as the golden oracle for the
+  equivalence suite (tests/test_sim_kernel.py).
+
+Both produce bit-identical results: the kernel loop replicates the
+reference loop's event ordering, tie-breaking counter draws, float
+arithmetic order, and even dict insertion orders of the result tables.
 """
 
 from __future__ import annotations
@@ -28,8 +43,11 @@ from .. import telemetry
 from ..errors import SimulationError
 from ..parallel.distgraph import DistGraph, DistOp
 from .costs import CostProvider
+from .kernel import SimKernel, lower
 from .memory import MemoryTracker
 from .metrics import SimulationResult, union_length
+
+_ENGINES = ("kernel", "reference")
 
 
 class Simulator:
@@ -47,6 +65,9 @@ class Simulator:
         capacities: Optional[Dict[str, int]] = None,
         trace: bool = False,
         strict: bool = False,
+        kernel: Optional[SimKernel] = None,
+        engine: str = "kernel",
+        _prio_ids: Optional[List[int]] = None,
     ) -> SimulationResult:
         """Simulate one iteration.
 
@@ -58,20 +79,403 @@ class Simulator:
         discipline analyzed by the paper's appendix).  Requires
         ``priorities`` to be a linear extension of the DAG order (upward
         ranks are); the default work-conserving mode skips blocked ops.
+
+        ``kernel``: a pre-lowered :class:`SimKernel` for ``graph`` (e.g.
+        the one cached on an ExecutionPlan).  When omitted, the kernel is
+        taken from the graph's own lowering cache.  ``engine="reference"``
+        selects the original dict-based loop instead (golden oracle; it
+        ignores ``kernel``).
+
+        ``_prio_ids`` (internal): ``priorities`` already lowered to a
+        per-op-index list that is a permutation of ``range(n)`` — the
+        scheduler passes its freshly computed order this way so the
+        kernel engine skips re-mapping the dict through the name table.
+        Must agree with ``priorities``; the kernel engine trusts it.
         """
+        if engine not in _ENGINES:
+            raise SimulationError(
+                f"unknown simulation engine {engine!r}; expected one of "
+                f"{_ENGINES}"
+            )
         tel = telemetry.active()
         if tel is None:
-            return self._run(graph, priorities=priorities,
-                             resident_bytes=resident_bytes,
-                             capacities=capacities, trace=trace,
-                             strict=strict, tel=None)
+            return self._dispatch(graph, priorities=priorities,
+                                  resident_bytes=resident_bytes,
+                                  capacities=capacities, trace=trace,
+                                  strict=strict, kernel=kernel,
+                                  engine=engine, tel=None,
+                                  prio_ids=_prio_ids)
         with tel.span("simulate", graph=graph.name, ops=len(graph)):
-            return self._run(graph, priorities=priorities,
-                             resident_bytes=resident_bytes,
-                             capacities=capacities, trace=trace,
-                             strict=strict, tel=tel)
+            return self._dispatch(graph, priorities=priorities,
+                                  resident_bytes=resident_bytes,
+                                  capacities=capacities, trace=trace,
+                                  strict=strict, kernel=kernel,
+                                  engine=engine, tel=tel,
+                                  prio_ids=_prio_ids)
 
-    def _run(
+    def _dispatch(self, graph, *, priorities, resident_bytes, capacities,
+                  trace, strict, kernel, engine, tel, prio_ids=None):
+        if engine == "reference":
+            return self._run_reference(
+                graph, priorities=priorities, resident_bytes=resident_bytes,
+                capacities=capacities, trace=trace, strict=strict, tel=tel)
+        return self._run_kernel(
+            graph, kernel if kernel is not None else lower(graph),
+            priorities=priorities, resident_bytes=resident_bytes,
+            capacities=capacities, trace=trace, strict=strict, tel=tel,
+            prio_ids=prio_ids)
+
+    # ------------------------------------------------------------------ #
+    # kernel engine: integer-indexed arrays, one lowering per graph
+    # ------------------------------------------------------------------ #
+    def _run_kernel(
+        self,
+        graph: DistGraph,
+        kernel: SimKernel,
+        *,
+        priorities: Optional[Mapping[str, int]],
+        resident_bytes: Optional[Dict[str, int]],
+        capacities: Optional[Dict[str, int]],
+        trace: bool,
+        strict: bool,
+        tel: Optional["telemetry.Telemetry"],
+        prio_ids: Optional[List[int]] = None,
+    ) -> SimulationResult:
+        if strict and priorities is None:
+            raise SimulationError("strict mode requires explicit priorities")
+        wall_start = time.perf_counter() if tel is not None else 0.0
+
+        n = kernel.n
+        names = kernel.names
+        ops = kernel.ops
+        res_of = kernel.res_ids
+        nres = len(kernel.resource_names)
+        is_compute = kernel.is_compute
+        is_link = kernel.is_link
+        succ_of = kernel.succ
+        pred_of = kernel.pred
+        pending = list(kernel.pred_count)
+
+        use_fifo = priorities is None
+        if use_fifo:
+            prio: List[float] = []
+        elif prio_ids is not None:
+            prio = prio_ids
+        else:
+            get_prio = priorities.get
+            prio = [get_prio(name, 0) for name in names]
+        counter = itertools.count()
+        heappush = heapq.heappush
+        # When priorities are all distinct (always true for FIFO, whose
+        # priorities are fresh counter draws, for every scheduler-built
+        # order, and for a prio_ids permutation), waiter-heap entries
+        # never tie on priority, so the tie-break counter is never
+        # compared and release_resource may move a still-blocked waiter's
+        # heap entry to its next queue verbatim instead of paying a
+        # try_start round trip.
+        fast_requeue = (use_fifo or prio_ids is not None
+                        or len(set(prio)) == n)
+
+        durations = kernel.durations_for(self.cost)
+        cost_duration = self.cost.duration
+
+        # strict mode: per-resource queues in priority order; an op may only
+        # start while it is at the head of every one of its resource queues
+        if strict:
+            strict_queues: List[List[int]] = [[] for _ in range(nres)]
+            for i in range(n):
+                for r in res_of[i]:
+                    strict_queues[r].append(i)
+            for queue in strict_queues:
+                queue.sort(key=prio.__getitem__)
+            head_index = [0] * nres
+
+        # memory state, lowered: run-local device table seeded from the
+        # resident map, extended in first-charge order (replicating the
+        # MemoryTracker's dict insertion order for peaks and OOM reports)
+        charge_dev = kernel.charge_dev
+        out_bytes = kernel.out_bytes
+        run_dev_of = [-1] * len(kernel.mem_dev_names)
+        run_dev_names: List[str] = []
+        mem_cur: List[float] = []
+        mem_peak: List[float] = []
+        if resident_bytes:
+            mem_dev_index = kernel.mem_dev_index
+            for dev, b in resident_bytes.items():
+                ki = mem_dev_index.get(dev)
+                if ki is not None:
+                    run_dev_of[ki] = len(run_dev_names)
+                run_dev_names.append(dev)
+                mem_cur.append(float(b))
+                mem_peak.append(float(b))
+        refs = list(kernel.succ_count)
+
+        resource_busy = [False] * nres
+        # per-resource priority heap of (priority, tiebreak, op) waiters
+        waiting: List[Optional[List[Tuple[float, int, int]]]] = [None] * nres
+        now = 0.0
+        completions: List[Tuple[float, int, int]] = []
+        started = [0.0] * n
+        start_order: List[int] = []
+        finished = [0.0] * n
+        device_busy: Dict[int, float] = {}
+        link_intervals: Dict[int, List[Tuple[float, float]]] = {}
+        comm_intervals: List[Tuple[float, float]] = []
+        compute_intervals: List[Tuple[float, float]] = []
+        in_wait_queue = [False] * n
+        wait_seen = [False] * n
+        wait_order: List[int] = []
+        # telemetry: when each op first became ready / where it last parked
+        if tel is not None:
+            ready_seen = [False] * n
+            ready_at = [0.0] * n
+            parked_on = [-1] * n
+            registry = tel.registry
+            # metric handles are resolved once, outside the event loop
+            queue_wait_hist = registry.histogram(
+                "sim_queue_wait_seconds",
+                help="simulated time ops spend ready but blocked",
+            )
+            resource_names = kernel.resource_names
+            res_wait_counters: Dict[int, object] = {}
+            ops_counters = {
+                kind: registry.counter(
+                    "sim_ops_total", labels={"kind": kind},
+                    help="dist-ops completed, by kind",
+                )
+                for kind in set(kernel.kind_values)
+            }
+            kind_counter_of = [ops_counters[k] for k in kernel.kind_values]
+
+        mem_dev_names = kernel.mem_dev_names
+
+        def try_start(i: int, p: float) -> None:
+            """Start op ``i`` if possible; otherwise park it on the first
+            busy resource it needs (or the strict-order head block)."""
+            if tel is not None and not ready_seen[i]:
+                ready_seen[i] = True
+                ready_at[i] = now
+            blocked = -1
+            for r in res_of[i]:
+                if resource_busy[r]:
+                    blocked = r
+                    break
+            if blocked < 0 and strict:
+                # wait on the first resource where this op is not at the
+                # head of the queue
+                for r in res_of[i]:
+                    if strict_queues[r][head_index[r]] != i:
+                        blocked = r
+                        break
+            if blocked >= 0:
+                queue = waiting[blocked]
+                if queue is None:
+                    queue = waiting[blocked] = []
+                heappush(queue, (p, next(counter), i))
+                in_wait_queue[i] = True
+                if not wait_seen[i]:
+                    wait_seen[i] = True
+                    wait_order.append(i)
+                if tel is not None:
+                    parked_on[i] = blocked
+                return
+
+            if strict:
+                for r in res_of[i]:
+                    head_index[r] += 1
+            for r in res_of[i]:
+                resource_busy[r] = True
+            duration = durations[i] if durations is not None \
+                else cost_duration(ops[i])
+            if duration < 0:
+                raise SimulationError(
+                    f"negative duration for {names[i]}: {duration}"
+                )
+            # memory on start: charge the op's output to its device
+            ki = charge_dev[i]
+            if ki >= 0:
+                size = out_bytes[i]
+                if size > 0:
+                    ri = run_dev_of[ki]
+                    if ri < 0:
+                        ri = len(run_dev_names)
+                        run_dev_of[ki] = ri
+                        run_dev_names.append(mem_dev_names[ki])
+                        mem_cur.append(0.0)
+                        mem_peak.append(0.0)
+                    current = mem_cur[ri] + size
+                    mem_cur[ri] = current
+                    if current > mem_peak[ri]:
+                        mem_peak[ri] = current
+            started[i] = now
+            start_order.append(i)
+            if tel is not None:
+                wait = now - ready_at[i]
+                queue_wait_hist.observe(wait)
+                blocked_r = parked_on[i]
+                parked_on[i] = -1
+                if blocked_r >= 0 and wait > 0:
+                    counter_handle = res_wait_counters.get(blocked_r)
+                    if counter_handle is None:
+                        counter_handle = registry.counter(
+                            "sim_resource_wait_seconds_total",
+                            labels={"resource": resource_names[blocked_r]},
+                            help="simulated wait attributed to each resource",
+                        )
+                        res_wait_counters[blocked_r] = counter_handle
+                    counter_handle.inc(wait)
+            heappush(completions, (now + duration, next(counter), i))
+
+        def drain_waiters(resource: int, queue: List[Tuple[float, int, int]]
+                          ) -> None:
+            """Retry a freed resource's waiters in priority order."""
+            # those still blocked re-park on whatever resource now blocks
+            # them (possibly this one again)
+            waiting[resource] = None
+            if fast_requeue:
+                # a waiter that is still blocked re-parks on its first
+                # busy resource; that scan is everything try_start would
+                # do for it, so do it inline and move the heap entry as
+                # is (only its never-compared tie-break counter goes
+                # stale).  In strict mode a fully-free waiter still goes
+                # through try_start for the head-of-queue check.
+                for entry in (queue if len(queue) == 1 else sorted(queue)):
+                    i = entry[2]
+                    blocked = -1
+                    for r in res_of[i]:
+                        if resource_busy[r]:
+                            blocked = r
+                            break
+                    if blocked >= 0:
+                        queue2 = waiting[blocked]
+                        if queue2 is None:
+                            queue2 = waiting[blocked] = []
+                        heappush(queue2, entry)
+                        if tel is not None:
+                            parked_on[i] = blocked
+                    else:
+                        in_wait_queue[i] = False
+                        try_start(i, entry[0])
+                return
+            for p, _, i in (queue if len(queue) == 1 else sorted(queue)):
+                in_wait_queue[i] = False
+                try_start(i, p)
+
+        # kick off sources in priority order
+        initial = sorted(
+            ((next(counter) if use_fifo else prio[i]), next(counter), i)
+            for i in kernel.sources
+        )
+        for p, _, i in initial:
+            try_start(i, p)
+
+        executed = 0
+        heappop = heapq.heappop
+        while completions:
+            now, _, i = heappop(completions)
+            finished[i] = now
+            executed += 1
+            # memory on finish: release one reference on each input; a
+            # producer's output is freed when its last consumer finishes
+            # (an op with no consumers frees its own output immediately)
+            for p in pred_of[i]:
+                left = refs[p]
+                if left <= 0:
+                    raise SimulationError(
+                        f"refcount underflow on {names[p]!r}"
+                    )
+                refs[p] = left - 1
+                if left == 1:
+                    kp = charge_dev[p]
+                    if kp >= 0:
+                        size = out_bytes[p]
+                        if size > 0:
+                            mem_cur[run_dev_of[kp]] -= size
+            if refs[i] == 0:
+                ki = charge_dev[i]
+                if ki >= 0:
+                    size = out_bytes[i]
+                    if size > 0:
+                        mem_cur[run_dev_of[ki]] -= size
+            if tel is not None:
+                kind_counter_of[i].inc()
+
+            begin = started[i]
+            resources = res_of[i]
+            if is_compute[i]:
+                device = resources[0]
+                busy = device_busy.get(device)
+                device_busy[device] = (now - begin) if busy is None \
+                    else busy + (now - begin)
+                compute_intervals.append((begin, now))
+            else:
+                comm_intervals.append((begin, now))
+                for r in resources:
+                    if is_link[r]:
+                        intervals = link_intervals.get(r)
+                        if intervals is None:
+                            intervals = link_intervals[r] = []
+                        intervals.append((begin, now))
+
+            # new ready successors first (so a freed resource sees them)
+            for s in succ_of[i]:
+                left = pending[s] - 1
+                pending[s] = left
+                if left == 0:
+                    try_start(s, next(counter) if use_fifo else prio[s])
+
+            for r in resources:
+                resource_busy[r] = False
+                queue = waiting[r]
+                if queue:
+                    drain_waiters(r, queue)
+
+        if executed != n:
+            stuck = [names[i] for i in range(n) if pending[i] > 0][:5]
+            waiting_named = [names[i] for i in wait_order
+                             if in_wait_queue[i]][:5]
+            raise SimulationError(
+                f"deadlock: executed {executed}/{n} ops; "
+                f"stuck deps on {stuck}; parked {waiting_named}"
+            )
+
+        capacities = capacities or {}
+        resource_names = kernel.resource_names
+        result = SimulationResult(
+            makespan=now,
+            device_busy={resource_names[r]: busy
+                         for r, busy in device_busy.items()},
+            link_busy={
+                resource_names[r]: union_length(intervals)
+                for r, intervals in link_intervals.items()
+            },
+            communication_time=union_length(comm_intervals),
+            computation_wall=union_length(compute_intervals),
+            peak_memory={run_dev_names[ri]: mem_peak[ri]
+                         for ri in range(len(run_dev_names))},
+            oom_devices=[
+                run_dev_names[ri] for ri in range(len(run_dev_names))
+                if run_dev_names[ri] in capacities
+                and mem_peak[ri] > capacities[run_dev_names[ri]]
+            ],
+        )
+        if trace:
+            # dict(zip(...)) keeps the iteration in C; insertion order is
+            # start order, matching the reference engine's trace dict
+            result.schedule = dict(zip(
+                map(names.__getitem__, start_order),
+                zip(map(started.__getitem__, start_order),
+                    map(finished.__getitem__, start_order)),
+            ))
+        if tel is not None:
+            self._observe_run(tel, executed, now, wall_start)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # reference engine: the original dict-keyed loop, kept verbatim as
+    # the golden oracle for the kernel-equivalence suite
+    # ------------------------------------------------------------------ #
+    def _run_reference(
         self,
         graph: DistGraph,
         *,
@@ -280,19 +684,25 @@ class Simulator:
                 n: (started[n], finished[n]) for n in started
             }
         if tel is not None:
-            wall = time.perf_counter() - wall_start
-            reg = tel.registry
-            reg.counter("sim_runs_total",
-                        help="simulator invocations").inc()
-            reg.counter("sim_events_total",
-                        help="completion events processed").inc(executed)
-            reg.histogram("sim_run_wall_seconds",
-                          help="wall-clock per simulator run").observe(wall)
-            reg.histogram("sim_makespan_seconds",
-                          help="simulated iteration makespans").observe(now)
-            if wall > 0:
-                reg.gauge(
-                    "sim_events_per_second",
-                    help="events simulated per wall-clock second (last run)",
-                ).set(executed / wall)
+            self._observe_run(tel, executed, now, wall_start)
         return result
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _observe_run(tel: "telemetry.Telemetry", executed: int,
+                     makespan: float, wall_start: float) -> None:
+        wall = time.perf_counter() - wall_start
+        reg = tel.registry
+        reg.counter("sim_runs_total",
+                    help="simulator invocations").inc()
+        reg.counter("sim_events_total",
+                    help="completion events processed").inc(executed)
+        reg.histogram("sim_run_wall_seconds",
+                      help="wall-clock per simulator run").observe(wall)
+        reg.histogram("sim_makespan_seconds",
+                      help="simulated iteration makespans").observe(makespan)
+        if wall > 0:
+            reg.gauge(
+                "sim_events_per_second",
+                help="events simulated per wall-clock second (last run)",
+            ).set(executed / wall)

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional
 
 from ..errors import SimulationError
 from ..parallel.distgraph import DistGraph, DistOp, DistOpKind
+from ..profiling.cost_model import op_memory_bytes
 
 
 def output_bytes(op: DistOp) -> float:
@@ -27,7 +28,6 @@ def output_bytes(op: DistOp) -> float:
     if op.kind in (DistOpKind.COMPUTE, DistOpKind.APPLY):
         if op.source_op is None:  # synthetic instances (crafted DAGs)
             return 0.0
-        from ..profiling.cost_model import op_memory_bytes
         return float(op_memory_bytes(op.source_op, op.batch_fraction))
     if op.kind in (DistOpKind.SPLIT, DistOpKind.CONCAT, DistOpKind.AGGREGATE,
                    DistOpKind.TRANSFER):

@@ -1,0 +1,250 @@
+"""Golden-equivalence suite for the array-lowered simulation kernel.
+
+The kernel engine (``engine="kernel"``, the default) must be
+*bit-identical* to the original dict-based event loop, which is kept in
+the tree as ``engine="reference"``.  These tests pair the two engines
+over compiled model graphs and crafted edge cases and compare every
+observable: the full schedule trace, makespan, busy/overlap metrics,
+peak memory, the OOM device set, and — for deadlocks — the exact error
+message bytes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import telemetry
+from repro.cluster import cluster_4gpu, cluster_8gpu
+from repro.errors import SimulationError
+from repro.graph.models import build_model
+from repro.parallel.compiler import GraphCompiler
+from repro.parallel.distgraph import DistGraph, DistOp, DistOpKind
+from repro.parallel.strategy import (
+    CommMethod,
+    ReplicaAllocation,
+    Strategy,
+    make_dp_strategy,
+    make_mp_strategy,
+)
+from repro.plan import PlanBuilder
+from repro.profiling import Profiler
+from repro.simulation import ProfileCostModel, Simulator, TruthCostModel
+from repro.simulation.costs import MappingCostModel
+from repro.simulation.kernel import lower
+
+
+def assert_results_identical(a, b) -> None:
+    """Every observable of two SimulationResults must match exactly."""
+    assert a.makespan == b.makespan
+    assert a.device_busy == b.device_busy
+    assert a.link_busy == b.link_busy
+    assert a.communication_time == b.communication_time
+    assert a.computation_wall == b.computation_wall
+    assert a.peak_memory == b.peak_memory
+    assert a.oom_devices == b.oom_devices
+    assert a.schedule == b.schedule
+
+
+def run_pair(make_cost, dist, **kw):
+    """Run both engines on fresh cost providers; compare outcome or error."""
+    try:
+        a = Simulator(make_cost()).run(dist, engine="kernel", **kw)
+    except SimulationError as exc:
+        with pytest.raises(SimulationError) as err:
+            Simulator(make_cost()).run(dist, engine="reference", **kw)
+        assert str(err.value) == str(exc)
+        return None
+    b = Simulator(make_cost()).run(dist, engine="reference", **kw)
+    assert_results_identical(a, b)
+    return a
+
+
+# --------------------------------------------------------------------- #
+# paired fuzz over compiled model graphs
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module", params=["inception_v3", "bert_large"])
+def compiled(request):
+    model = request.param
+    cluster = cluster_4gpu() if model == "inception_v3" else cluster_8gpu()
+    graph = build_model(model, "tiny")
+    profile = Profiler(seed=0).profile(graph, cluster)
+    rng = random.Random(1234)
+    options = [make_mp_strategy(d) for d in cluster.device_ids]
+    for alloc in (ReplicaAllocation.EVEN, ReplicaAllocation.PROPORTIONAL):
+        for comm in (CommMethod.PS, CommMethod.ALLREDUCE):
+            options.append(make_dp_strategy(cluster, alloc, comm))
+    strategy = Strategy(
+        graph, cluster, {n: rng.choice(options) for n in graph.op_names}
+    )
+    compiler = GraphCompiler(cluster, profile)
+    dist = compiler.compile(graph, strategy)
+    caps = {d.device_id: d.usable_memory_bytes for d in cluster.devices}
+    return cluster, profile, dist, dict(compiler.resident_bytes), caps
+
+
+COST_MAKERS = [
+    ("profile", lambda cl, pr: ProfileCostModel(cl, pr)),
+    ("truth-jitter", lambda cl, pr: TruthCostModel(cl, jitter_sigma=0.05,
+                                                   seed=7)),
+    ("truth-exact", lambda cl, pr: TruthCostModel(cl, jitter_sigma=0.0,
+                                                  seed=7)),
+]
+
+
+@pytest.mark.parametrize("cost_name,make", COST_MAKERS,
+                         ids=[c[0] for c in COST_MAKERS])
+def test_engines_identical_on_compiled_graphs(compiled, cost_name, make):
+    cluster, profile, dist, resident, caps = compiled
+    names = dist.op_names
+    perm = list(range(len(names)))
+    random.Random(99).shuffle(perm)
+    prio_sets = [
+        None,                                          # FIFO (tie counter)
+        {n: i for i, n in enumerate(names)},           # distinct priorities
+        {n: perm[i] for i, n in enumerate(names)},     # shuffled distinct
+        {n: perm[i] % 7 for i, n in enumerate(names)},  # heavy ties
+    ]
+    for prios in prio_sets:
+        for strict in (False, True) if prios is not None else (False,):
+            run_pair(
+                lambda: make(cluster, profile), dist,
+                priorities=prios, resident_bytes=dict(resident),
+                capacities=caps, trace=True, strict=strict,
+            )
+
+
+def test_memory_pressure_oom_sets_identical(compiled):
+    """Shrunken capacities force OOM; both engines must flag the same
+    devices at the same peaks."""
+    cluster, profile, dist, resident, caps = compiled
+    tight = {d: max(1, int(c * 1e-4)) for d, c in caps.items()}
+    result = run_pair(
+        lambda: ProfileCostModel(cluster, profile), dist,
+        resident_bytes=dict(resident), capacities=tight, trace=True,
+    )
+    assert result is not None and result.oom
+
+
+# --------------------------------------------------------------------- #
+# crafted edge cases
+# --------------------------------------------------------------------- #
+def _chain_graph() -> DistGraph:
+    g = DistGraph("chain")
+    for i in range(4):
+        g.add(DistOp(f"op{i}", DistOpKind.SPLIT, device="gpu0",
+                     size_bytes=64.0),
+              deps=[f"op{i - 1}"] if i else [])
+    return g
+
+
+def test_cycle_deadlock_messages_byte_equal():
+    """A cycle (crafted via direct adjacency mutation, like the engine
+    edge-case tests do) must deadlock both engines with the same text."""
+    g = _chain_graph()
+    g._succ["op3"].append("op0")
+    g._pred["op0"].append("op3")
+    cost = MappingCostModel({}, default=1.0)
+    run_pair(lambda: cost, g)
+
+
+def test_strict_priority_inversion_deadlock():
+    """Strict mode with priorities that invert the DAG order deadlocks;
+    the error text must match the reference engine byte for byte."""
+    g = _chain_graph()
+    inverted = {f"op{i}": 10 - i for i in range(4)}
+    cost = MappingCostModel({}, default=1.0)
+    run_pair(lambda: cost, g, priorities=inverted, strict=True)
+
+
+def test_direct_adjacency_mutation_falls_back_to_string_tables():
+    """tests mutate ``_succ``/``_pred`` directly without the int mirror;
+    lowering must detect the desync and rebuild from the string tables."""
+    g = _chain_graph()
+    extra = g.add(DistOp("late", DistOpKind.SPLIT, device="gpu0",
+                         size_bytes=64.0))
+    g._succ["op3"].append(extra.name)
+    g._pred[extra.name].append("op3")
+    kernel = lower(g)
+    idx = kernel.index
+    assert kernel.succ[idx["op3"]] == (idx["late"],)
+    assert kernel.pred[idx["late"]] == (idx["op3"],)
+    cost = MappingCostModel({}, default=1.0)
+    run_pair(lambda: cost, g, trace=True)
+
+
+# --------------------------------------------------------------------- #
+# kernel caching semantics
+# --------------------------------------------------------------------- #
+def test_lowering_cached_until_mutation():
+    g = _chain_graph()
+    k1 = lower(g)
+    assert lower(g) is k1
+    g.add(DistOp("tail", DistOpKind.SPLIT, device="gpu0", size_bytes=1.0),
+          deps=["op3"])
+    k2 = lower(g)
+    assert k2 is not k1
+    assert k2.version == g.version
+    assert k2.n == len(g)
+
+
+def test_duration_array_cached_per_deterministic_provider():
+    g = _chain_graph()
+    kernel = lower(g)
+    det = MappingCostModel({}, default=2.0)
+    first = kernel.durations_for(det)
+    assert first == [2.0] * len(g)
+    assert kernel.durations_for(det) is first
+    stochastic = TruthCostModel(cluster_4gpu(), jitter_sigma=0.1, seed=3)
+    assert kernel.durations_for(stochastic) is None
+
+
+def test_topo_matches_graph_topological_order():
+    g = _chain_graph()
+    kernel = lower(g)
+    assert [kernel.names[i] for i in kernel.topo] == g.topological_order()
+    assert not kernel.has_cycle
+
+
+# --------------------------------------------------------------------- #
+# single-pass scheduling through the plan layer
+# --------------------------------------------------------------------- #
+def test_cold_evaluate_runs_exactly_two_simulations():
+    """Single-pass scheduling: a cold evaluate costs the two candidate-
+    order simulations and nothing more (the winner's result is reused)."""
+    cluster = cluster_4gpu()
+    graph = build_model("vgg19", "tiny")
+    profile = Profiler(seed=0).profile(graph, cluster)
+    strategy = Strategy(
+        graph, cluster,
+        {n: make_dp_strategy(cluster, ReplicaAllocation.EVEN, CommMethod.PS)
+         for n in graph.op_names},
+    )
+    builder = PlanBuilder(graph, cluster, profile)
+    tel = telemetry.enable()
+    try:
+        outcome = builder.evaluate(strategy)
+        runs = tel.registry.get("sim_runs_total")
+        assert runs is not None and runs.value == 2
+    finally:
+        telemetry.disable()
+    plan = builder.build(strategy)
+    assert outcome.result is plan.sim_result
+    assert outcome.time == plan.sim_result.makespan
+
+
+def test_plan_reuses_one_lowering_for_schedule_and_resimulation():
+    cluster = cluster_4gpu()
+    graph = build_model("vgg19", "tiny")
+    profile = Profiler(seed=0).profile(graph, cluster)
+    strategy = Strategy(
+        graph, cluster,
+        {n: make_mp_strategy(cluster.device_ids[0])
+         for n in graph.op_names},
+    )
+    builder = PlanBuilder(graph, cluster, profile)
+    plan = builder.build(strategy)
+    assert plan.kernel is lower(plan.dist)
+    resim = builder.simulate(plan)
+    assert resim.makespan == plan.sim_result.makespan
