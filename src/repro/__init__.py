@@ -15,6 +15,8 @@ Public surface:
 - ``repro.plan`` — cached ExecutionPlan layer (PlanBuilder, PlanCache,
   BatchEvaluator) shared by search, baselines and deployment.
 - ``repro.runtime`` — execution engine (testbed stand-in) and runner.
+- ``repro.resilience`` — fault injection, failure detection and elastic
+  replanning on the surviving cluster.
 - ``repro.telemetry`` — metrics registry, span tracing, critical-path
   attribution.
 """
@@ -26,6 +28,7 @@ from . import (
     parallel,
     plan,
     profiling,
+    resilience,
     runtime,
     scheduling,
     simulation,
@@ -35,6 +38,7 @@ from .api import Dataset, get_runner, parse_device_info
 from .config import HeteroGConfig
 from .errors import (
     CompileError,
+    DeviceLostError,
     GraphError,
     OutOfMemoryError,
     PlacementError,
@@ -59,6 +63,7 @@ __all__ = [
     "CompileError",
     "SimulationError",
     "OutOfMemoryError",
+    "DeviceLostError",
     "ProfilingError",
     "StrategyError",
     "graph",
@@ -68,6 +73,7 @@ __all__ = [
     "agent",
     "plan",
     "profiling",
+    "resilience",
     "runtime",
     "simulation",
     "telemetry",

@@ -8,8 +8,10 @@ models      list registered benchmark models and their sizes
 clusters    show the cluster presets
 trace       run the full pipeline under telemetry, write a Chrome trace
             and print the critical-path blame
+faults      train under a fault-injection schedule (crash / degrade /
+            straggler) and recover by elastic replanning
 experiment  run one paper experiment (table1, table4, table7, fig3a,
-            fig3b, fig8, fig9)
+            fig3b, fig8, fig9, faults)
 """
 
 from __future__ import annotations
@@ -181,6 +183,54 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    """``repro faults``: train under fault injection and recover.
+
+    Returns exit code 1 when the run stalled (a crash under the ``ride``
+    policy), so scripts and the CI smoke can assert recovery happened.
+    """
+    from . import telemetry
+    from .config import HeteroGConfig
+    from .experiments.common import bench_agent_config
+    from .heterog import HeteroG
+    from .resilience import FaultSchedule
+
+    model_name = _resolve_model(args.model)
+    cluster = _resolve_cluster(args.cluster)()
+    episodes, steps = args.episodes, args.steps
+    replan_episodes = args.replan_episodes
+    if args.quick:
+        episodes = min(episodes, 2)
+        steps = min(steps, 6)
+        replan_episodes = min(replan_episodes, 2)
+    graph = build_model(model_name, args.preset)
+    if args.schedule:
+        schedule = FaultSchedule.parse(args.schedule)
+    else:
+        schedule = FaultSchedule.random(cluster, seed=args.seed,
+                                        events=args.random_faults,
+                                        horizon=max(2, steps // 2))
+    config = HeteroGConfig(episodes=episodes, seed=args.seed,
+                           agent=bench_agent_config(args.seed))
+    heterog = HeteroG(cluster, config)
+    with telemetry.session() as tel:
+        print(f"searching healthy deployment for {graph.name} on {cluster} "
+              f"({episodes} episodes)...", file=sys.stderr)
+        deployment = heterog.deploy(graph)
+        print("injecting: "
+              + (", ".join(e.label for e in schedule) or "(none)"),
+              file=sys.stderr)
+        trainer = heterog.resilient_runner(deployment, schedule,
+                                           policy=args.policy,
+                                           episodes=replan_episodes)
+        report = trainer.run(steps)
+        print(report.summary())
+        if args.metrics_out:
+            _write_metrics(tel.registry, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return 1 if report.stalled else 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """``repro experiment``: regenerate one paper table/figure."""
     if args.metrics_out:
@@ -219,6 +269,8 @@ def _run_experiment(args: argparse.Namespace) -> int:
         print(ex.render_fig8(ex.fig8_time_breakdown()))
     elif name == "fig9":
         print(ex.render_fig9(ex.fig9_existing_schemes()))
+    elif name == "faults":
+        print(ex.render_fault_sweep(ex.fault_sweep(cluster_4gpu())))
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {name}")
     return 0
@@ -277,9 +329,41 @@ def build_parser() -> argparse.ArgumentParser:
                    "(.prom/.txt: Prometheus text; else JSON)")
     p.set_defaults(func=cmd_trace)
 
+    p = sub.add_parser("faults",
+                       help="train under fault injection and recover")
+    p.add_argument("model", help="model name or unique prefix "
+                   "(e.g. resnet, vgg19)")
+    p.add_argument("cluster", nargs="?", default="8gpu",
+                   help="cluster preset (8gpu, cluster8, 12gpu, ...)")
+    p.add_argument("--schedule", metavar="SPEC",
+                   help="comma-separated faults, kind:target@iter[xF] "
+                   "(e.g. 'crash:gpu3@5,degrade:server1@8x0.5'); "
+                   "default: a seeded random schedule")
+    p.add_argument("--policy", choices=["replan", "ride"],
+                   default="replan",
+                   help="recovery policy (default: replan)")
+    p.add_argument("--steps", type=int, default=12,
+                   help="training iterations to run (default: 12)")
+    p.add_argument("--episodes", type=int, default=8,
+                   help="initial strategy-search episodes (default: 8)")
+    p.add_argument("--replan-episodes", type=int, default=4,
+                   help="episodes per replan search (default: 4)")
+    p.add_argument("--random-faults", type=int, default=2,
+                   help="events in the random schedule (default: 2)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: trim episodes and steps")
+    p.add_argument("--preset", choices=["tiny", "bench", "paper"],
+                   default="bench", help="model scale (default: bench)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="dump the telemetry metrics registry "
+                   "(.prom/.txt: Prometheus text; else JSON)")
+    p.set_defaults(func=cmd_faults)
+
     p = sub.add_parser("experiment", help="run one paper experiment")
     p.add_argument("name", choices=["table1", "table4", "table5", "table7",
-                                    "fig3a", "fig3b", "fig8", "fig9"])
+                                    "fig3a", "fig3b", "fig8", "fig9",
+                                    "faults"])
     p.add_argument("--large", action="store_true",
                    help="include the large-model OOM rows (slow)")
     p.add_argument("--metrics-out", metavar="PATH",

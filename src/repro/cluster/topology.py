@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import PlacementError
 from .device import Device, GPUSpec
@@ -143,6 +144,113 @@ class Cluster:
             for s in self.servers if per_server.get(s.name)
         ]
         return Cluster(specs, self.switch_bandwidth)
+
+    # ------------------------------------------------------------------ #
+    # degraded views (resilience layer): unlike subcluster(), these keep
+    # the surviving devices' original ids and link objects, so strategies
+    # and schedules that reference "gpu5" still mean the same GPU after a
+    # failure elsewhere in the cluster
+    # ------------------------------------------------------------------ #
+    def _derive(self, devices: List[Device],
+                links: Dict[Tuple[str, str], Link],
+                servers: List[ServerSpec]) -> "Cluster":
+        """Clone with explicit device/link tables (bypasses re-enumeration)."""
+        clone = object.__new__(Cluster)
+        clone.servers = servers
+        clone.switch_bandwidth = self.switch_bandwidth
+        clone._devices = devices
+        clone._by_id = {d.device_id: d for d in devices}
+        spec_of = {s.name: s for s in servers}
+        clone._server_of = {d.device_id: spec_of[d.server] for d in devices}
+        clone._links = links
+        return clone
+
+    def without_devices(self, device_ids: Iterable[str]) -> "Cluster":
+        """The cluster minus crashed devices, original ids preserved.
+
+        Every link touching a removed device disappears with it; servers
+        whose GPUs all failed are dropped entirely.
+        """
+        failed = set(device_ids)
+        unknown = failed - set(self.device_ids)
+        if unknown:
+            raise PlacementError(f"unknown devices {sorted(unknown)}")
+        survivors = [d for d in self._devices if d.device_id not in failed]
+        if not survivors:
+            raise PlacementError("cannot remove every device in the cluster")
+        alive = {d.device_id for d in survivors}
+        links = {
+            pair: link for pair, link in self._links.items()
+            if pair[0] in alive and pair[1] in alive
+        }
+        per_server: Dict[str, int] = {}
+        for dev in survivors:
+            per_server[dev.server] = per_server.get(dev.server, 0) + 1
+        servers = [
+            dataclasses.replace(s, num_gpus=per_server[s.name])
+            for s in self.servers if per_server.get(s.name)
+        ]
+        return self._derive(survivors, links, servers)
+
+    def with_scaled_links(self, factor: float,
+                          involving: Optional[str] = None) -> "Cluster":
+        """The cluster with some link bandwidths multiplied by ``factor``.
+
+        ``involving`` selects which links degrade: a device id scales
+        every link touching that device; a server name scales the
+        server's inter-server (NIC) paths; ``None`` scales every
+        inter-server link (switch-wide congestion).
+        """
+        if factor <= 0:
+            raise PlacementError(f"link scale must be positive, got {factor}")
+        if (involving is not None and involving not in self._by_id
+                and involving not in self.server_names()):
+            raise PlacementError(
+                f"unknown device or server {involving!r}")
+
+        def touched(link: Link) -> bool:
+            if involving is None:
+                return not link.intra_server
+            if involving in self._by_id:
+                return involving in (link.src, link.dst)
+            return (not link.intra_server
+                    and (self.device(link.src).server == involving
+                         or self.device(link.dst).server == involving))
+
+        links = {
+            pair: (dataclasses.replace(
+                       link, bandwidth=link.bandwidth * factor)
+                   if link.src != link.dst and touched(link) else link)
+            for pair, link in self._links.items()
+        }
+        return self._derive(list(self._devices), links, list(self.servers))
+
+    def with_scaled_compute(self, scale: Mapping[str, float]) -> "Cluster":
+        """The cluster with some devices' compute throughput multiplied.
+
+        ``scale`` maps device ids to a factor applied to peak FLOPs and
+        memory bandwidth (e.g. 0.5 for a device running at half speed —
+        a persistent straggler).  Memory capacity is unchanged.
+        """
+        unknown = set(scale) - set(self.device_ids)
+        if unknown:
+            raise PlacementError(f"unknown devices {sorted(unknown)}")
+        if any(f <= 0 for f in scale.values()):
+            raise PlacementError(f"compute scale must be positive: {scale}")
+        devices: List[Device] = []
+        for dev in self._devices:
+            factor = scale.get(dev.device_id)
+            if factor is None or factor == 1.0:
+                devices.append(dev)
+                continue
+            spec = dataclasses.replace(
+                dev.spec,
+                model=f"{dev.spec.model} (x{factor:.2f})",
+                peak_flops=dev.spec.peak_flops * factor,
+                mem_bandwidth=dev.spec.mem_bandwidth * factor,
+            )
+            devices.append(dataclasses.replace(dev, spec=spec))
+        return self._derive(devices, dict(self._links), list(self.servers))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         per = ", ".join(

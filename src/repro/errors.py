@@ -39,6 +39,23 @@ class OutOfMemoryError(SimulationError):
         )
 
 
+class DeviceLostError(SimulationError):
+    """Raised when an op touches a device the fault injector has crashed.
+
+    The resilience layer (``repro.resilience``) treats this as the
+    testbed's way of reporting a hard device failure: the execution
+    engine surfaces it from the first dist-op that needs the dead GPU,
+    and the :class:`~repro.runtime.trainer_loop.FailureDetector` turns
+    it into a ``device_lost`` detection.
+    """
+
+    def __init__(self, device: str, op: str = ""):
+        self.device = device
+        self.op = op
+        where = f" (needed by {op!r})" if op else ""
+        super().__init__(f"device {device} is lost{where}")
+
+
 class ProfilingError(ReproError):
     """Raised when the profiler cannot produce a prediction."""
 

@@ -19,6 +19,12 @@ from .graph.dag import ComputationGraph
 from .parallel.strategy import Strategy
 from .profiling.measurements import MeasurementNoise
 from .profiling.profiler import Profile, Profiler
+from .resilience import (
+    FaultInjector,
+    FaultSchedule,
+    Replanner,
+    ResilientTrainer,
+)
 from .runtime.deployment import Deployment, make_deployment
 from .runtime.execution_engine import ExecutionEngine
 from .runtime.runner import DistributedRunner
@@ -101,3 +107,37 @@ class HeteroG:
             seed=self.config.seed + 1,
         )
         return DistributedRunner(deployment, engine)
+
+    def resilient_runner(self, deployment: Deployment,
+                         schedule: FaultSchedule, *,
+                         policy: str = "replan",
+                         episodes: int = 6) -> ResilientTrainer:
+        """A fault-injected training loop around ``deployment``.
+
+        The engine runs on the *original* cluster (the testbed does not
+        shrink — the injector's overlay makes faults visible); the
+        replanner searches on the *degraded* cluster derived from the
+        active faults.  ``policy="ride"`` keeps the original plan and
+        stalls on crashes — the baseline the fault-sweep compares with.
+        """
+        injector = FaultInjector(self.cluster, schedule)
+        engine = ExecutionEngine(
+            self.cluster,
+            jitter_sigma=self.config.engine_jitter_sigma,
+            seed=self.config.seed + 1,
+            fault_injector=injector,
+        )
+        replanner = None
+        if policy == "replan":
+            agent_config = dataclasses.replace(
+                self.config.agent,
+                use_order_scheduling=self.config.use_order_scheduling,
+                seed=self.config.seed,
+            )
+            replanner = Replanner(
+                deployment.graph, self.cluster,
+                agent_config=agent_config, episodes=episodes,
+                seed=self.config.seed,
+            )
+        return ResilientTrainer(deployment, injector, engine=engine,
+                                replanner=replanner, policy=policy)

@@ -1,0 +1,49 @@
+"""Resilience: fault injection, failure detection, elastic replanning.
+
+The subsystem closes the loop the paper leaves open — what happens when
+the heterogeneous cluster *changes under* a deployed strategy:
+
+1. :class:`FaultInjector` applies a deterministic, seeded
+   :class:`FaultSchedule` (device crashes, link/NIC degradation,
+   persistent stragglers) to the ground-truth engine's cost model;
+2. :class:`~repro.runtime.trainer_loop.FailureDetector` notices failures
+   from iteration results (exceptions for hard faults, busy-time
+   blow-ups vs a warmed baseline for soft ones);
+3. :class:`Replanner` derives the degraded cluster
+   (:meth:`Cluster.without_devices` / :meth:`Cluster.with_scaled_links`)
+   and re-runs strategy search through the warm plan layer;
+4. :class:`ResilientTrainer` drives the whole loop, accounting MTTR and
+   lost work, under a ``replan`` or ``ride`` (do-nothing) policy.
+"""
+
+from ..runtime.trainer_loop import DetectionEvent, FailureDetector
+from .controller import (
+    POLICIES,
+    RecoveryRecord,
+    ResilienceReport,
+    ResilientTrainer,
+)
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultOverlay,
+    FaultSchedule,
+)
+from .replan import RecoveryPlan, Replanner
+
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "FaultSchedule",
+    "FaultOverlay",
+    "FaultInjector",
+    "DetectionEvent",
+    "FailureDetector",
+    "Replanner",
+    "RecoveryPlan",
+    "ResilientTrainer",
+    "ResilienceReport",
+    "RecoveryRecord",
+    "POLICIES",
+]

@@ -1,0 +1,284 @@
+"""The resilient training loop: inject -> detect -> replan -> resume.
+
+:class:`ResilientTrainer` drives an :class:`ExecutionEngine` whose cost
+model a :class:`FaultInjector` is mutating, watches every iteration
+with a :class:`FailureDetector`, and on detection either *replans*
+(elastic recovery onto the surviving devices through a
+:class:`Replanner`) or *rides it out* (keeps the original plan at
+degraded speed — the baseline the fault-sweep experiment compares
+against).  A crash cannot be ridden out: the run stalls.
+
+Recovery accounting follows the usual MTTR / lost-work decomposition:
+
+- **lost work** — simulated time of iterations whose results were
+  thrown away (the iteration in flight when the fault struck, replayed
+  after recovery; mirrors re-running from the last checkpoint);
+- **downtime (MTTR)** — detection lag (the failed iteration had to run
+  before the fault was noticed: one healthy-mean iteration) plus the
+  replanning wall-clock (strategy search is real CPU work the cluster
+  sits idle through) plus a fixed ``restart_overhead`` for process
+  respawn and weight re-shard.
+
+Both are exported through the telemetry registry
+(``resilience_mttr_seconds``, ``resilience_lost_work_seconds_total``)
+and reported on the :class:`ResilienceReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from .. import telemetry
+from ..errors import DeviceLostError, OutOfMemoryError, ReproError
+from ..runtime.deployment import Deployment
+from ..runtime.execution_engine import ExecutionEngine
+from ..runtime.trainer_loop import DetectionEvent, FailureDetector
+from .faults import FaultEvent, FaultInjector
+from .replan import Replanner
+
+POLICIES = ("replan", "ride")
+
+
+@dataclass
+class RecoveryRecord:
+    """One detected fault and what the controller did about it."""
+
+    iteration: int
+    cause: str                   # e.g. "device_lost:gpu3"
+    action: str                  # "replan" | "ride" | "stall"
+    downtime_seconds: float = 0.0
+    lost_work_seconds: float = 0.0
+    search_seconds: float = 0.0
+    plan_cache_hits: int = 0
+    devices_after: int = 0
+
+
+@dataclass
+class ResilienceReport:
+    """What a resilient run hands back."""
+
+    steps: int
+    policy: str
+    iteration_times: List[float] = field(default_factory=list)
+    faults: List[FaultEvent] = field(default_factory=list)
+    detections: List[DetectionEvent] = field(default_factory=list)
+    recoveries: List[RecoveryRecord] = field(default_factory=list)
+    stalled: bool = False
+    completed_steps: int = 0
+
+    @property
+    def total_downtime(self) -> float:
+        return sum(r.downtime_seconds for r in self.recoveries)
+
+    @property
+    def lost_work(self) -> float:
+        return sum(r.lost_work_seconds for r in self.recoveries)
+
+    @property
+    def mttr(self) -> float:
+        """Mean time to recovery over the run's replans (NaN if none)."""
+        repaired = [r.downtime_seconds for r in self.recoveries
+                    if r.action == "replan"]
+        if not repaired:
+            return float("nan")
+        return float(np.mean(repaired))
+
+    @property
+    def mean_iteration_time(self) -> float:
+        if not self.iteration_times:
+            return float("nan")
+        return float(np.mean(self.iteration_times))
+
+    @property
+    def total_seconds(self) -> float:
+        """Training makespan: iteration time + downtime + lost work."""
+        if self.stalled:
+            return float("inf")
+        return (float(np.sum(self.iteration_times)) + self.total_downtime
+                + self.lost_work)
+
+    def summary(self) -> str:
+        lines = [
+            f"resilient run ({self.policy}): "
+            f"{self.completed_steps}/{self.steps} steps"
+            + (" [STALLED]" if self.stalled else ""),
+            f"  faults injected : "
+            f"{', '.join(e.label for e in self.faults) or '(none)'}",
+            "  detections      : " + (", ".join(
+                f"{d.kind}:{d.resource}" for d in self.detections)
+                or "(none)"),
+        ]
+        for r in self.recoveries:
+            lines.append(
+                f"  recovery @{r.iteration}: {r.cause} -> {r.action} "
+                f"(downtime {r.downtime_seconds:.3f}s, "
+                f"lost work {r.lost_work_seconds:.3f}s, "
+                f"{r.devices_after} devices)")
+        if self.iteration_times:
+            lines.append(
+                f"  mean iteration  : {self.mean_iteration_time:.4f} s")
+        if not self.stalled:
+            lines.append(
+                f"  total time      : {self.total_seconds:.3f} s "
+                f"(downtime {self.total_downtime:.3f} s, "
+                f"lost work {self.lost_work:.3f} s)")
+        return "\n".join(lines)
+
+
+class ResilientTrainer:
+    """Runs training iterations that survive a changing cluster."""
+
+    def __init__(self, deployment: Deployment, injector: FaultInjector, *,
+                 engine: Optional[ExecutionEngine] = None,
+                 replanner: Optional[Replanner] = None,
+                 detector: Optional[FailureDetector] = None,
+                 policy: str = "replan",
+                 restart_overhead: float = 0.0,
+                 max_recoveries: int = 8):
+        if policy not in POLICIES:
+            raise ReproError(
+                f"unknown policy {policy!r}; expected one of {POLICIES}")
+        self.deployment = deployment
+        self.injector = injector
+        self.engine = engine if engine is not None else ExecutionEngine(
+            deployment.cluster, fault_injector=injector)
+        if self.engine.fault_injector is None:
+            self.engine.fault_injector = injector
+            injector.bind(self.engine)
+        self.replanner = replanner
+        self.detector = detector if detector is not None \
+            else FailureDetector()
+        self.policy = policy
+        self.restart_overhead = restart_overhead
+        self.max_recoveries = max_recoveries
+        self._healthy_mean: Optional[float] = None
+
+    # ---------------------------------------------------------------- #
+    def run(self, steps: int) -> ResilienceReport:
+        if steps <= 0:
+            raise ReproError(f"steps must be positive, got {steps}")
+        report = ResilienceReport(steps=steps, policy=self.policy)
+        with telemetry.span("resilience.run", steps=steps,
+                            policy=self.policy):
+            for i in range(steps):
+                report.faults.extend(self.injector.advance(i))
+                if not self._step(i, report):
+                    report.stalled = True
+                    break
+                report.completed_steps += 1
+        self._export(report)
+        return report
+
+    # ---------------------------------------------------------------- #
+    def _step(self, i: int, report: ResilienceReport) -> bool:
+        """One training iteration with recovery; False means stalled."""
+        attempts = 0
+        while True:
+            try:
+                result = self.engine.run_iteration(
+                    self.deployment.dist, self.deployment.schedule,
+                    self.deployment.resident_bytes)
+            except (DeviceLostError, OutOfMemoryError) as exc:
+                attempts += 1
+                event = self.detector.observe_error(i, exc)
+                report.detections.append(event)
+                if attempts > self.max_recoveries:
+                    raise ReproError(
+                        f"gave up after {self.max_recoveries} recovery "
+                        f"attempts at iteration {i}: {exc}") from exc
+                if not self._recover(i, event, report):
+                    return False
+                continue
+            soft = self.detector.observe(i, result)
+            report.detections.extend(soft)
+            report.iteration_times.append(result.makespan)
+            self._track_healthy(result.makespan, soft)
+            if soft and self.policy == "replan":
+                # degraded-but-running: replan once for the batch of
+                # detections, keep this iteration's (slow) result
+                self._recover(i, soft[0], report)
+            return True
+
+    def _track_healthy(self, makespan: float,
+                       soft: List[DetectionEvent]) -> None:
+        if soft or self.injector.any_active:
+            # do not learn a "healthy" baseline from a faulted iteration,
+            # but seed one if we never saw a healthy sample at all
+            if self._healthy_mean is None:
+                self._healthy_mean = makespan
+            return
+        prev = self._healthy_mean
+        self._healthy_mean = makespan if prev is None \
+            else 0.7 * prev + 0.3 * makespan
+
+    # ---------------------------------------------------------------- #
+    def _recover(self, i: int, event: DetectionEvent,
+                 report: ResilienceReport) -> bool:
+        """Handle one detection; False means the run cannot continue."""
+        cause = f"{event.kind}:{event.resource}"
+        if self.policy == "ride" or self.replanner is None:
+            if event.is_hard:
+                # a dead device cannot be ridden out
+                report.recoveries.append(RecoveryRecord(
+                    iteration=i, cause=cause, action="stall",
+                    devices_after=self.deployment.cluster.num_devices,
+                ))
+                return False
+            report.recoveries.append(RecoveryRecord(
+                iteration=i, cause=cause, action="ride",
+                devices_after=self.deployment.cluster.num_devices,
+            ))
+            return True
+
+    # replan policy
+        detection_lag = self._healthy_mean or 0.0
+        degraded = self.injector.degraded_cluster()
+        with telemetry.span("resilience.recover", iteration=i, cause=cause):
+            recovery = self.replanner.replan(degraded)
+        self.deployment = recovery.deployment
+        self.detector.reset()
+        lost = detection_lag if event.is_hard else 0.0
+        downtime = detection_lag + recovery.search_seconds \
+            + self.restart_overhead
+        report.recoveries.append(RecoveryRecord(
+            iteration=i, cause=cause, action="replan",
+            downtime_seconds=downtime, lost_work_seconds=lost,
+            search_seconds=recovery.search_seconds,
+            plan_cache_hits=recovery.plan_cache_hits,
+            devices_after=recovery.cluster.num_devices,
+        ))
+        return True
+
+    # ---------------------------------------------------------------- #
+    @staticmethod
+    def _export(report: ResilienceReport) -> None:
+        tel = telemetry.active()
+        if tel is None:
+            return
+        reg = tel.registry
+        mttr = report.mttr
+        if mttr == mttr:  # not NaN
+            reg.gauge(
+                "resilience_mttr_seconds",
+                help="mean time to recovery over the run's replans",
+            ).set(mttr)
+        reg.counter(
+            "resilience_lost_work_seconds_total",
+            help="simulated work discarded due to faults",
+        ).inc(report.lost_work)
+        reg.counter(
+            "resilience_downtime_seconds_total",
+            help="simulated downtime spent detecting and replanning",
+        ).inc(report.total_downtime)
+        reg.gauge(
+            "resilience_completed_steps",
+            help="training steps completed by the last resilient run",
+        ).set(report.completed_steps)
+        if report.stalled:
+            reg.counter(
+                "resilience_stalls_total",
+                help="runs that could not continue (ride policy + crash)",
+            ).inc()

@@ -1,0 +1,342 @@
+"""Deterministic fault injection for the ground-truth execution engine.
+
+A :class:`FaultSchedule` is a seeded, fully deterministic list of
+:class:`FaultEvent`\\ s keyed by iteration number; the
+:class:`FaultInjector` binds one to an :class:`ExecutionEngine` and
+applies the active faults to its :class:`TruthCostModel` through the
+overlay hooks:
+
+- ``crash`` — ops touching the device raise :class:`DeviceLostError`;
+- ``degrade`` — links through the device/server lose bandwidth;
+- ``straggler`` — the device's compute durations are multiplied.
+
+With an empty schedule the injector installs no overlay at all, so the
+engine's timeline is bit-identical to a run without any injector —
+paired (faults on/off) experiments are sound by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .. import telemetry
+from ..cluster.topology import Cluster
+from ..errors import ReproError
+
+
+class FaultKind(enum.Enum):
+    """What goes wrong."""
+
+    DEVICE_CRASH = "crash"          # GPU disappears (XID error, host dies)
+    LINK_DEGRADE = "degrade"        # NIC/link drops to a fraction of BW
+    STRAGGLER = "straggler"         # device persistently slows down
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault striking at the start of ``iteration``.
+
+    ``target`` is a device id (crash/straggler/degrade) or a server name
+    (degrade: the server's NIC).  ``factor`` is the bandwidth multiplier
+    in (0, 1) for ``degrade`` and the slowdown multiplier > 1 for
+    ``straggler``; crashes ignore it.
+    """
+
+    iteration: int
+    kind: FaultKind
+    target: str
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.iteration < 0:
+            raise ReproError(f"fault iteration must be >= 0: {self}")
+        if self.kind is FaultKind.LINK_DEGRADE and not 0 < self.factor < 1:
+            raise ReproError(
+                f"degrade factor must be in (0, 1), got {self.factor}")
+        if self.kind is FaultKind.STRAGGLER and self.factor <= 1:
+            raise ReproError(
+                f"straggler factor must be > 1, got {self.factor}")
+
+    @property
+    def label(self) -> str:
+        if self.kind is FaultKind.DEVICE_CRASH:
+            return f"crash:{self.target}@{self.iteration}"
+        return (f"{self.kind.value}:{self.target}@{self.iteration}"
+                f"x{self.factor:g}")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An immutable, iteration-ordered fault timeline."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "events",
+            tuple(sorted(self.events, key=lambda e: e.iteration)),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    # ---------------------------------------------------------------- #
+    @staticmethod
+    def empty() -> "FaultSchedule":
+        return FaultSchedule(())
+
+    @staticmethod
+    def parse(spec: str) -> "FaultSchedule":
+        """Parse ``kind:target@iteration[xfactor]`` items, comma-separated.
+
+        Examples: ``crash:gpu3@5``, ``degrade:server1@8x0.5``,
+        ``straggler:gpu2@3x1.7``.
+        """
+        events: List[FaultEvent] = []
+        for raw in spec.split(","):
+            item = raw.strip()
+            if not item:
+                continue
+            try:
+                kind_s, rest = item.split(":", 1)
+                target, when = rest.rsplit("@", 1)
+                if "x" in when:
+                    when_s, factor_s = when.split("x", 1)
+                    factor = float(factor_s)
+                else:
+                    when_s, factor = when, 1.0
+                kind = FaultKind(kind_s.strip().lower())
+                events.append(FaultEvent(int(when_s), kind, target.strip(),
+                                         factor))
+            except (ValueError, KeyError) as exc:
+                raise ReproError(
+                    f"bad fault spec {item!r} (want kind:target@iter[xF], "
+                    f"e.g. crash:gpu3@5 or degrade:server1@8x0.5): {exc}"
+                ) from None
+        return FaultSchedule(tuple(events))
+
+    @staticmethod
+    def random(cluster: Cluster, *, seed: int, events: int = 2,
+               horizon: int = 16,
+               kinds: Optional[List[FaultKind]] = None) -> "FaultSchedule":
+        """A deterministic seeded schedule over ``cluster``'s resources.
+
+        Never crashes more than ``num_devices - 1`` GPUs, so a replan on
+        the survivors is always possible.
+        """
+        rng = np.random.default_rng(seed)
+        kinds = kinds or list(FaultKind)
+        device_ids = cluster.device_ids
+        servers = cluster.server_names()
+        crashes_left = len(device_ids) - 1
+        crashed: List[str] = []
+        out: List[FaultEvent] = []
+        for _ in range(events):
+            kind = kinds[int(rng.integers(len(kinds)))]
+            iteration = int(rng.integers(1, max(2, horizon)))
+            if kind is FaultKind.DEVICE_CRASH:
+                alive = [d for d in device_ids if d not in crashed]
+                if crashes_left <= 0 or len(alive) <= 1:
+                    kind = FaultKind.STRAGGLER
+                else:
+                    target = alive[int(rng.integers(len(alive)))]
+                    crashed.append(target)
+                    crashes_left -= 1
+                    out.append(FaultEvent(iteration, kind, target))
+                    continue
+            if kind is FaultKind.LINK_DEGRADE:
+                target = servers[int(rng.integers(len(servers)))]
+                factor = float(rng.uniform(0.3, 0.7))
+                out.append(FaultEvent(iteration, kind, target, factor))
+            else:  # straggler
+                target = device_ids[int(rng.integers(len(device_ids)))]
+                factor = float(rng.uniform(1.5, 3.0))
+                out.append(FaultEvent(iteration, kind, target, factor))
+        return FaultSchedule(tuple(out))
+
+
+@dataclass(frozen=True)
+class FaultOverlay:
+    """The active-fault view a :class:`TruthCostModel` prices under."""
+
+    failed_devices: FrozenSet[str] = frozenset()
+    compute_scale: Mapping[str, float] = field(default_factory=dict)
+    link_scale: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+
+    @property
+    def empty(self) -> bool:
+        return (not self.failed_devices and not self.compute_scale
+                and not self.link_scale)
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSchedule` to execution-engine cost models.
+
+    The controller calls :meth:`advance` at the top of every training
+    iteration; events whose iteration has arrived become *active* and
+    are pushed to every attached cost model as one merged overlay.
+    Faults are persistent (a crashed GPU stays dead, a straggler stays
+    slow) — recovery happens by *replanning around* them, not by the
+    fault clearing.
+    """
+
+    def __init__(self, cluster: Cluster, schedule: FaultSchedule,
+                 rng: Optional[np.random.Generator] = None):
+        self.cluster = cluster
+        self.schedule = schedule
+        self.rng = rng  # shared engine stream once bound
+        self._next = 0  # index of the first not-yet-fired event
+        self._cost_models: List[object] = []
+        self.failed_devices: set = set()
+        self.compute_scale: Dict[str, float] = {}
+        self._degrades: List[FaultEvent] = []
+        self._link_scale: Dict[Tuple[str, str], float] = {}
+        # validate targets up front so a typo fails at construction
+        known = set(cluster.device_ids) | set(cluster.server_names())
+        for event in schedule:
+            if event.target not in known:
+                raise ReproError(
+                    f"fault targets unknown resource {event.target!r} "
+                    f"(known: {sorted(known)})")
+            if (event.kind is not FaultKind.LINK_DEGRADE
+                    and event.target not in cluster.device_ids):
+                raise ReproError(
+                    f"{event.kind.value} fault needs a device id, got "
+                    f"server {event.target!r}")
+
+    # ---------------------------------------------------------------- #
+    def bind(self, engine) -> None:
+        """Share the engine's RNG stream and hook its cost model."""
+        if self.rng is None:
+            self.rng = engine.rng
+        self.attach(engine.cost)
+
+    def attach(self, cost) -> None:
+        """Hook a :class:`TruthCostModel`; pushes the current overlay."""
+        self._cost_models.append(cost)
+        self._push_overlay_to(cost)
+
+    # ---------------------------------------------------------------- #
+    @property
+    def active_events(self) -> List[FaultEvent]:
+        return list(self.schedule.events[:self._next])
+
+    @property
+    def pending_events(self) -> List[FaultEvent]:
+        return list(self.schedule.events[self._next:])
+
+    @property
+    def any_active(self) -> bool:
+        return self._next > 0
+
+    def advance(self, iteration: int) -> List[FaultEvent]:
+        """Activate every event due at or before ``iteration``.
+
+        Returns the newly fired events (empty most iterations).
+        """
+        fired: List[FaultEvent] = []
+        events = self.schedule.events
+        while self._next < len(events) \
+                and events[self._next].iteration <= iteration:
+            event = events[self._next]
+            self._next += 1
+            self._activate(event)
+            fired.append(event)
+        if fired:
+            self._push_overlay()
+            tel = telemetry.active()
+            if tel is not None:
+                for event in fired:
+                    tel.registry.counter(
+                        "resilience_faults_injected_total",
+                        labels={"kind": event.kind.value},
+                        help="fault events activated by the injector",
+                    ).inc()
+        return fired
+
+    def _activate(self, event: FaultEvent) -> None:
+        if event.kind is FaultKind.DEVICE_CRASH:
+            self.failed_devices.add(event.target)
+        elif event.kind is FaultKind.STRAGGLER:
+            # repeated stragglers on one device compound
+            prev = self.compute_scale.get(event.target, 1.0)
+            self.compute_scale[event.target] = prev * event.factor
+        else:
+            self._degrades.append(event)
+            for src, dst in self._links_of(event.target):
+                prev = self._link_scale.get((src, dst), 1.0)
+                self._link_scale[(src, dst)] = prev * event.factor
+
+    def _links_of(self, target: str) -> List[Tuple[str, str]]:
+        """Directed device pairs whose link degrades with ``target``."""
+        pairs: List[Tuple[str, str]] = []
+        is_device = target in set(self.cluster.device_ids)
+        for link in self.cluster.links():
+            if is_device:
+                if target in (link.src, link.dst):
+                    pairs.append((link.src, link.dst))
+            elif not link.intra_server and (
+                    self.cluster.device(link.src).server == target
+                    or self.cluster.device(link.dst).server == target):
+                pairs.append((link.src, link.dst))
+        return pairs
+
+    # ---------------------------------------------------------------- #
+    def overlay(self) -> Optional[FaultOverlay]:
+        """The merged active-fault overlay, or None when healthy."""
+        if (not self.failed_devices and not self.compute_scale
+                and not self._link_scale):
+            return None
+        return FaultOverlay(
+            failed_devices=frozenset(self.failed_devices),
+            compute_scale=dict(self.compute_scale),
+            link_scale=dict(self._link_scale),
+        )
+
+    def _push_overlay(self) -> None:
+        for cost in self._cost_models:
+            self._push_overlay_to(cost)
+
+    def _push_overlay_to(self, cost) -> None:
+        overlay = self.overlay()
+        if overlay is None:
+            cost.clear_fault_overlay()
+        else:
+            cost.set_fault_overlay(overlay)
+
+    # ---------------------------------------------------------------- #
+    def degraded_cluster(self, base: Optional[Cluster] = None) -> Cluster:
+        """The surviving cluster under every active fault.
+
+        Crashed devices are removed, degraded links keep their scaled
+        bandwidth, and stragglers keep their scaled compute throughput —
+        this is what the :class:`~repro.resilience.replan.Replanner`
+        re-plans against.
+        """
+        cluster = base if base is not None else self.cluster
+        alive_failed = self.failed_devices & set(cluster.device_ids)
+        if alive_failed:
+            cluster = cluster.without_devices(alive_failed)
+        for event in self._degrades:
+            if (event.target in cluster.device_ids
+                    or event.target in cluster.server_names()):
+                cluster = cluster.with_scaled_links(
+                    event.factor, involving=event.target)
+        stragglers = {
+            d: 1.0 / s for d, s in self.compute_scale.items()
+            if d in set(cluster.device_ids) and s != 1.0
+        }
+        if stragglers:
+            cluster = cluster.with_scaled_compute(stragglers)
+        return cluster

@@ -1,0 +1,149 @@
+"""Elastic replanning: re-run strategy search on the surviving cluster.
+
+The :class:`Replanner` owns one *search session* per degraded-cluster
+state: a profile of the graph on that cluster, a
+:class:`~repro.agent.HeteroGAgent` whose evaluator wraps a warm
+:class:`~repro.plan.PlanBuilder`, and the best strategy found so far.
+Sessions are keyed by the cluster's content fingerprint, so replanning
+twice into the same degraded state (crash -> replan -> NIC degrade ->
+replan, then the NIC recovers... or a sweep revisiting a scenario)
+reuses the whole warmed session — policy weights, plan cache and
+outcome cache included.  Within a single search the usual plan-layer
+caching applies: repeated candidate strategies hit the outcome cache,
+and the winning strategy's final build is a plan-cache hit (asserted by
+the acceptance tests through the ``plan_cache_hits_total`` counters).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from .. import telemetry
+from ..agent.agent import AgentConfig, HeteroGAgent
+from ..cluster.topology import Cluster
+from ..errors import ReproError
+from ..graph.dag import ComputationGraph
+from ..plan import EvalOutcome, PlanBuilder
+from ..plan.fingerprint import _cluster_payload, _digest
+from ..profiling.profiler import Profiler
+from ..runtime.deployment import Deployment, deployment_from_plan
+
+
+@dataclass
+class RecoveryPlan:
+    """Outcome of one replan: a runnable deployment on the survivors."""
+
+    deployment: Deployment
+    cluster: Cluster
+    outcome: EvalOutcome         # simulated (profile-predicted) outcome
+    search_seconds: float        # wall-clock spent searching
+    plan_cache_hits: int
+    outcome_cache_hits: int
+    reused_session: bool         # True when the degraded state was seen
+    episodes: int
+
+    @property
+    def feasible(self) -> bool:
+        return self.outcome.feasible
+
+
+class _Session:
+    """One warmed search session for a specific degraded cluster."""
+
+    def __init__(self, graph: ComputationGraph, cluster: Cluster,
+                 config: AgentConfig, seed: int):
+        self.cluster = cluster
+        self.profile = Profiler(seed=seed).profile(graph, cluster)
+        self.agent = HeteroGAgent(cluster, config)
+        self.context = self.agent.add_graph(graph, self.profile)
+        self.uses = 0
+
+    @property
+    def builder(self) -> PlanBuilder:
+        return self.context.evaluator.builder
+
+
+class Replanner:
+    """Searches replacement deployments when the cluster degrades."""
+
+    def __init__(self, graph: ComputationGraph, base_cluster: Cluster, *,
+                 agent_config: Optional[AgentConfig] = None,
+                 episodes: int = 6, max_rounds: int = 3, seed: int = 0):
+        if episodes < 1:
+            raise ReproError(f"episodes must be >= 1, got {episodes}")
+        self.graph = graph
+        self.base_cluster = base_cluster
+        self.agent_config = agent_config
+        self.episodes = episodes
+        self.max_rounds = max_rounds
+        self.seed = seed
+        self._sessions: Dict[str, _Session] = {}
+
+    # ---------------------------------------------------------------- #
+    def session_for(self, cluster: Cluster) -> _Session:
+        """The (possibly warmed) search session for a degraded cluster."""
+        key = _digest(_cluster_payload(cluster))
+        session = self._sessions.get(key)
+        if session is None:
+            config = self.agent_config or AgentConfig(seed=self.seed)
+            session = _Session(self.graph, cluster, config, self.seed)
+            self._sessions[key] = session
+        return session
+
+    def replan(self, cluster: Cluster, *,
+               episodes: Optional[int] = None) -> RecoveryPlan:
+        """Search a feasible deployment on ``cluster`` (the survivors).
+
+        Runs up to ``max_rounds`` batches of ``episodes`` RL episodes
+        until the best strategy is feasible (no OOM, compiles); raises
+        :class:`ReproError` if none is found — the cluster may simply be
+        too small for the model.
+        """
+        budget = episodes if episodes is not None else self.episodes
+        session = self.session_for(cluster)
+        reused = session.uses > 0
+        session.uses += 1
+        builder = session.builder
+        start = time.time()
+        outcome: Optional[EvalOutcome] = None
+        ran = 0
+        with telemetry.span("resilience.replan", graph=self.graph.name,
+                            devices=cluster.num_devices):
+            for _ in range(self.max_rounds):
+                session.agent.train(budget)
+                ran += budget
+                strategy = session.agent.trainer.best_strategy(
+                    self.graph.name)
+                if strategy is None:
+                    continue
+                outcome = builder.evaluate(strategy)
+                if outcome.feasible:
+                    break
+            if outcome is None or not outcome.feasible:
+                raise ReproError(
+                    f"replan found no feasible strategy for "
+                    f"{self.graph.name!r} on {cluster} after {ran} episodes")
+            plan = builder.build(strategy)  # plan-cache hit: built above
+        elapsed = time.time() - start
+        tel = telemetry.active()
+        if tel is not None:
+            tel.registry.counter(
+                "resilience_replans_total",
+                help="replacement-plan searches completed",
+            ).inc()
+            tel.registry.histogram(
+                "resilience_replan_seconds",
+                help="wall-clock spent searching replacement plans",
+            ).observe(elapsed)
+        return RecoveryPlan(
+            deployment=deployment_from_plan(plan),
+            cluster=cluster,
+            outcome=outcome,
+            search_seconds=elapsed,
+            plan_cache_hits=builder.plan_cache.hits,
+            outcome_cache_hits=builder.outcome_cache.hits,
+            reused_session=reused,
+            episodes=ran,
+        )

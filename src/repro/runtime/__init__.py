@@ -6,6 +6,8 @@ from .runner import DistributedRunner, TrainingReport
 from .trainer_loop import (
     SAMPLES_TO_TARGET,
     ConvergenceModel,
+    DetectionEvent,
+    FailureDetector,
     end_to_end_minutes,
 )
 
@@ -20,4 +22,6 @@ __all__ = [
     "ConvergenceModel",
     "end_to_end_minutes",
     "SAMPLES_TO_TARGET",
+    "DetectionEvent",
+    "FailureDetector",
 ]

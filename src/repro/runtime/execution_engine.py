@@ -37,7 +37,10 @@ class IterationStats:
 
     @property
     def std(self) -> float:
-        return float(np.std(self.times)) if self.times else float("nan")
+        """Sample standard deviation (ddof=1); NaN below 2 iterations."""
+        if len(self.times) < 2:
+            return float("nan")
+        return float(np.std(self.times, ddof=1))
 
     @property
     def iterations(self) -> int:
@@ -45,17 +48,29 @@ class IterationStats:
 
 
 class ExecutionEngine:
-    """Executes distributed training iterations on the modelled cluster."""
+    """Executes distributed training iterations on the modelled cluster.
+
+    The engine owns one seeded RNG stream (``self.rng``) shared with its
+    :class:`TruthCostModel` (jitter draws) and, when a ``fault_injector``
+    is attached, with the injector — so a whole faulted run is a pure
+    function of ``seed`` plus the fault schedule, and a run with an
+    empty schedule is bit-identical to one with no injector at all.
+    """
 
     def __init__(self, cluster: Cluster, *, jitter_sigma: float = 0.04,
-                 interserver_discount: float = 0.92, seed: int = 1234):
+                 interserver_discount: float = 0.92, seed: int = 1234,
+                 fault_injector=None):
         self.cluster = cluster
+        self.rng = np.random.default_rng(seed)
         self.cost = TruthCostModel(cluster, jitter_sigma=jitter_sigma,
                                    interserver_discount=interserver_discount,
-                                   seed=seed)
+                                   rng=self.rng)
         self._simulator = Simulator(self.cost)
         self.capacities = {d.device_id: d.usable_memory_bytes
                            for d in cluster.devices}
+        self.fault_injector = fault_injector
+        if fault_injector is not None:
+            fault_injector.bind(self)
 
     def run_iteration(self, dist: DistGraph, schedule: Schedule,
                       resident_bytes: Dict[str, int], *,
@@ -105,7 +120,7 @@ class ExecutionEngine:
                     stats.times.append(result.makespan)
                     stats.last_result = result
         tel = telemetry.active()
-        if tel is not None and stats.times and stats.mean > 0:
+        if tel is not None and stats.iterations >= 2 and stats.mean > 0:
             # realized run-to-run jitter (std/mean) vs the configured sigma
             tel.registry.gauge(
                 "engine_jitter_realized", labels={"graph": dist.name},

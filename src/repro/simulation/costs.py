@@ -19,7 +19,7 @@ import numpy as np
 
 from ..cluster.device import GPUSpec
 from ..cluster.topology import Cluster
-from ..errors import SimulationError
+from ..errors import DeviceLostError, SimulationError
 from ..parallel.aggregation import allreduce_time
 from ..parallel.distgraph import DistOp, DistOpKind
 from ..profiling import cost_model
@@ -159,11 +159,24 @@ class TruthCostModel(_BaseCost):
     ``jitter_sigma`` is the log-normal sigma applied per execution;
     ``interserver_discount`` scales down cross-machine bandwidth (switch
     contention, protocol overhead) relative to what profiling measured.
+
+    ``rng`` shares an existing seeded generator (the ExecutionEngine
+    passes its own so the engine -> cost model -> fault injector chain
+    draws from one reproducible stream); when omitted, a fresh generator
+    is created from ``seed`` — the two forms produce identical draws.
+
+    The resilience layer applies faults through the overlay hooks
+    (:meth:`set_fault_overlay` / :meth:`clear_fault_overlay`): crashed
+    devices make any op touching them raise :class:`DeviceLostError`,
+    stragglers multiply compute durations, and degraded links divide
+    bandwidth.  With no overlay installed every code path is byte-for-
+    byte the pre-fault arithmetic, so fault-free runs stay bit-identical.
     """
 
     def __init__(self, cluster: Cluster, jitter_sigma: float = 0.04,
                  interserver_discount: float = 0.92,
-                 seed: Optional[int] = 1234):
+                 seed: Optional[int] = 1234,
+                 rng: Optional[np.random.Generator] = None):
         super().__init__(cluster)
         if not 0.0 < interserver_discount <= 1.0:
             raise SimulationError(
@@ -172,13 +185,35 @@ class TruthCostModel(_BaseCost):
             )
         self.jitter_sigma = jitter_sigma
         self.interserver_discount = interserver_discount
-        self._rng = np.random.default_rng(seed)
+        self._rng = rng if rng is not None else np.random.default_rng(seed)
+        self._overlay = None
 
     @property
     def deterministic(self) -> bool:
         # with jitter the RNG must be drawn in op start order, so the
-        # kernel may not pre-evaluate durations
-        return self.jitter_sigma <= 0
+        # kernel may not pre-evaluate durations; an active fault overlay
+        # likewise varies durations between iterations
+        return self.jitter_sigma <= 0 and self._overlay is None
+
+    # ---------------------------------------------------------------- #
+    # fault hooks (repro.resilience.FaultInjector drives these)
+    # ---------------------------------------------------------------- #
+    def set_fault_overlay(self, overlay) -> None:
+        """Install the active-fault view (``None`` clears it).
+
+        ``overlay`` duck-types :class:`repro.resilience.FaultOverlay`:
+        ``failed_devices`` (set of ids), ``compute_scale`` (device id ->
+        duration multiplier > 1) and ``link_scale`` ((src, dst) ->
+        bandwidth multiplier in (0, 1]).
+        """
+        self._overlay = overlay
+
+    def clear_fault_overlay(self) -> None:
+        self._overlay = None
+
+    @property
+    def fault_overlay(self):
+        return self._overlay
 
     def _jitter(self) -> float:
         if self.jitter_sigma <= 0:
@@ -190,10 +225,41 @@ class TruthCostModel(_BaseCost):
         bandwidth = link.bandwidth
         if not link.intra_server:
             bandwidth *= self.interserver_discount
+        overlay = self._overlay
+        if overlay is not None:
+            scale = overlay.link_scale.get((src, dst))
+            if scale is not None:
+                bandwidth *= scale
         return bandwidth, link.latency
 
     def duration(self, op: DistOp) -> float:
-        return self._base_duration(op) * self._jitter()
+        overlay = self._overlay
+        if overlay is None:
+            return self._base_duration(op) * self._jitter()
+        if overlay.failed_devices:
+            self._check_lost(op, overlay.failed_devices)
+        base = self._base_duration(op)
+        if op.is_compute:
+            scale = overlay.compute_scale.get(op.device)
+            if scale is not None:
+                base *= scale
+        return base * self._jitter()
+
+    @staticmethod
+    def _check_lost(op: DistOp, failed) -> None:
+        """Raise if ``op`` touches a crashed device (first use detects)."""
+        if op.is_compute:
+            if op.device in failed:
+                raise DeviceLostError(op.device, op.name)
+        elif op.kind is DistOpKind.TRANSFER:
+            if op.src_device in failed:
+                raise DeviceLostError(op.src_device, op.name)
+            if op.dst_device in failed:
+                raise DeviceLostError(op.dst_device, op.name)
+        else:
+            for device in op.devices:
+                if device in failed:
+                    raise DeviceLostError(device, op.name)
 
     def _base_duration(self, op: DistOp) -> float:
         if op.kind in (DistOpKind.COMPUTE, DistOpKind.APPLY):

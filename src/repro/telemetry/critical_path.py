@@ -180,11 +180,19 @@ def critical_path(dist: DistGraph,
         current = blocker[1] if blocker is not None else None
     segments.reverse()
 
+    makespan = result.makespan
     blame: Dict[str, float] = {}
     idle = 0.0
     for seg in segments:
         blame[seg.resource] = blame.get(seg.resource, 0.0) + seg.duration
         idle += seg.idle_before
+    # a truncated trace (e.g. a device lost mid-iteration) ends before
+    # the makespan: blame the uncovered tail on idle so the fractions
+    # still partition [0, makespan] and sum to ~1.  For a complete trace
+    # the last segment ends exactly at the makespan and this is a no-op.
+    tail_gap = makespan - segments[-1].end
+    if tail_gap > _EPS:
+        idle += tail_gap
     if idle > _EPS:
         blame[IDLE_KEY] = idle
 
@@ -195,7 +203,6 @@ def critical_path(dist: DistGraph,
             (start, end))
     per_resource_idle: Dict[str, float] = {}
     idle_gaps: Dict[str, List[Tuple[float, float]]] = {}
-    makespan = result.makespan
     for resource, ivs in intervals.items():
         busy = union_length(ivs)
         per_resource_idle[resource] = max(0.0, makespan - busy)

@@ -68,3 +68,70 @@ def test_profiler_noise_isolated_per_seed(four_gpu):
     p2 = Profiler(seed=3).profile(g, four_gpu)
     name = g.op_names[5]
     assert p1.op_time(name, "gpu2") == p2.op_time(name, "gpu2")
+
+
+def test_faulted_run_reproducible(four_gpu):
+    """Same seed + same fault schedule -> identical simulated timeline,
+    including detection iterations and the post-replan deployment."""
+    from repro.agent import AgentConfig
+    from repro.profiling import Profiler
+    from repro.resilience import (
+        FaultInjector,
+        FaultSchedule,
+        Replanner,
+        ResilientTrainer,
+    )
+    from repro.runtime import ExecutionEngine
+    from repro.runtime.deployment import make_deployment
+
+    cfg = AgentConfig(max_groups=8, gat_hidden=16, gat_layers=2,
+                      gat_heads=2, strategy_dim=16, strategy_heads=2,
+                      strategy_layers=1, seed=5)
+
+    def run():
+        g = make_mlp(name="det_faults")
+        profile = Profiler(seed=0).profile(g, four_gpu)
+        deployment = make_deployment(
+            g, four_gpu, dp_strategy("CP-AR", g, four_gpu),
+            profile=profile)
+        injector = FaultInjector(
+            four_gpu,
+            FaultSchedule.parse("straggler:gpu3@1x2.0, crash:gpu1@3"))
+        engine = ExecutionEngine(four_gpu, seed=21,
+                                 fault_injector=injector)
+        replanner = Replanner(g, four_gpu, agent_config=cfg,
+                              episodes=2, seed=5)
+        trainer = ResilientTrainer(deployment, injector, engine=engine,
+                                   replanner=replanner)
+        report = trainer.run(6)
+        return (
+            report.iteration_times,
+            [(d.iteration, d.kind, d.resource) for d in report.detections],
+            trainer.deployment.strategy.strategy_mix(),
+        )
+
+    assert run() == run()
+
+
+def test_empty_fault_schedule_is_inert(four_gpu):
+    """An injector with no faults leaves the engine's RNG stream and
+    timeline bit-identical to a run without any injector."""
+    from repro.profiling import Profiler
+    from repro.resilience import FaultInjector, FaultSchedule
+    from repro.runtime import ExecutionEngine
+    from repro.runtime.deployment import make_deployment
+
+    g = make_mlp(name="det_inert")
+    profile = Profiler(seed=0).profile(g, four_gpu)
+    deployment = make_deployment(
+        g, four_gpu, dp_strategy("CP-AR", g, four_gpu), profile=profile)
+
+    def run(injector):
+        engine = ExecutionEngine(four_gpu, seed=13,
+                                 fault_injector=injector)
+        stats = engine.measure(deployment.dist, deployment.schedule,
+                               deployment.resident_bytes, iterations=4)
+        return stats.times
+
+    assert run(None) == \
+        run(FaultInjector(four_gpu, FaultSchedule.empty()))

@@ -252,6 +252,21 @@ class TestCriticalPath:
         with pytest.raises(ValueError):
             critical_path(dist, SimulationResult(makespan=1.0))
 
+    def test_truncated_trace_blames_tail_on_idle(self):
+        """A device lost mid-trace leaves the makespan tail uncovered;
+        the fractions must still partition [0, makespan]."""
+        dist = _three_op_chain()
+        # gpu1 died before running "b": the trace stops at t's finish
+        # (3.0) but the iteration is still accounted at makespan 6.0
+        result = SimulationResult(
+            makespan=6.0,
+            schedule={"a": (0.0, 1.0), "t": (1.0, 3.0)},
+        )
+        report = critical_path(dist, result)
+        assert [s.op for s in report.segments] == ["a", "t"]
+        assert report.blame[IDLE_KEY] == pytest.approx(3.0)
+        assert sum(report.blame_fractions().values()) == pytest.approx(1.0)
+
     def test_on_simulated_run(self):
         cluster = cluster_4gpu()
         graph = make_mlp(name="cp_mlp")
