@@ -1,0 +1,82 @@
+"""Planning-service throughput: coalesced concurrent serving vs naive
+serial replanning.
+
+Before the service layer, every caller that wanted a plan for the same
+(graph, cluster, config) re-ran the whole profile -> group -> search ->
+schedule pipeline from scratch.  The service coalesces concurrent
+duplicates onto one evaluation and serves late duplicates from its
+result cache, so a burst of identical requests costs one search.
+
+Correctness gates (also exercised by the CI ``--quick`` smoke step):
+
+- exactly **one** evaluation runs per unique request fingerprint;
+  every other duplicate coalesces or hits the result cache, and the
+  ``service_coalesced_total`` metric agrees with the stats counters;
+- the coalesced results are **bit-identical** to naive serial
+  replanning (same strategy labels, one distinct makespan);
+- concurrent request throughput is at least the serial baseline's
+  (in practice ~``duplicates``x, since N requests share one search).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.agent import AgentConfig
+from repro.cluster import cluster_4gpu, cluster_8gpu
+from repro.config import HeteroGConfig
+from repro.graph.models import build_model
+from repro.service.bench import bench_coalescing
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    quick = request.config.getoption("--quick")
+    if quick:
+        cluster = cluster_4gpu()
+        graph = build_model("vgg19", "tiny")
+        duplicates, episodes = 4, 2
+        config = HeteroGConfig(seed=0, agent=AgentConfig(
+            max_groups=8, gat_hidden=16, gat_layers=2, gat_heads=2,
+            strategy_dim=16, strategy_heads=2, strategy_layers=1))
+    else:
+        cluster = cluster_8gpu()
+        graph = build_model("inception_v3", "bench")
+        duplicates, episodes = 6, 4
+        config = HeteroGConfig(seed=0)
+    return quick, graph, cluster, duplicates, episodes, config
+
+
+def test_service_throughput(setup, report, results_dir):
+    quick, graph, cluster, duplicates, episodes, config = setup
+    numbers = bench_coalescing(graph, cluster, duplicates=duplicates,
+                               episodes=episodes, workers=2, config=config)
+
+    # one evaluation per unique fingerprint; everything else deduped
+    assert numbers["evaluations_executed"] == 1, \
+        f"expected 1 evaluation, ran {numbers['evaluations_executed']}"
+    assert (numbers["coalesced"] + numbers["result_cache_hits"]
+            == duplicates - 1), \
+        f"duplicates neither coalesced nor cache-served: {numbers}"
+    assert numbers["coalesced_metric"] == numbers["coalesced"], \
+        "service_coalesced_total disagrees with ServiceStats"
+
+    # bit-identical to naive serial replanning
+    assert numbers["divergent_results"] == 0, \
+        f"{numbers['divergent_results']} results diverged from serial"
+    assert numbers["distinct_makespans"] == 1, \
+        f"expected one makespan, saw {numbers['distinct_makespans']}"
+
+    # coalesced serving must beat (or match) serial replanning
+    assert (numbers["concurrent_requests_per_sec"]
+            >= numbers["serial_requests_per_sec"]), \
+        f"coalesced slower than serial baseline: {numbers}"
+
+    if not quick:  # the committed trajectory tracks the full-size run
+        out = results_dir / "BENCH_service_throughput.json"
+        out.write_text(json.dumps(numbers, indent=2) + "\n")
+
+    body = "\n".join(f"{k:28s}: {v}" for k, v in numbers.items())
+    report("Planning-service throughput — coalesced vs serial", body)

@@ -15,6 +15,10 @@ Public surface:
 - ``repro.plan`` — cached ExecutionPlan layer (PlanBuilder, PlanCache,
   BatchEvaluator) shared by search, baselines and deployment.
 - ``repro.runtime`` — execution engine (testbed stand-in) and runner.
+- ``repro.service`` — the long-lived planning service (typed
+  :class:`PlanRequest`/:class:`PlanResult` surface, request coalescing,
+  admission control); :func:`default_service` / :func:`plan_request` /
+  :func:`submit` expose the process-wide instance.
 - ``repro.resilience`` — fault injection, failure detection and elastic
   replanning on the surviving cluster.
 - ``repro.telemetry`` — metrics registry, span tracing, critical-path
@@ -31,10 +35,18 @@ from . import (
     resilience,
     runtime,
     scheduling,
+    service,
     simulation,
     telemetry,
 )
-from .api import Dataset, get_runner, parse_device_info
+from .api import (
+    Dataset,
+    default_service,
+    get_runner,
+    parse_device_info,
+    submit,
+)
+from .api import plan as plan_request
 from .config import HeteroGConfig
 from .errors import (
     CompileError,
@@ -44,10 +56,15 @@ from .errors import (
     PlacementError,
     ProfilingError,
     ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
     SimulationError,
     StrategyError,
 )
 from .heterog import HeteroG
+from .service import PlanningService, PlanRequest, PlanResult
 
 __version__ = "1.0.0"
 
@@ -57,7 +74,17 @@ __all__ = [
     "parse_device_info",
     "HeteroG",
     "HeteroGConfig",
+    "PlanningService",
+    "PlanRequest",
+    "PlanResult",
+    "default_service",
+    "plan_request",
+    "submit",
     "ReproError",
+    "ServiceError",
+    "ServiceOverloadedError",
+    "ServiceTimeoutError",
+    "ServiceClosedError",
     "GraphError",
     "PlacementError",
     "CompileError",
@@ -75,6 +102,7 @@ __all__ = [
     "profiling",
     "resilience",
     "runtime",
+    "service",
     "simulation",
     "telemetry",
     "__version__",

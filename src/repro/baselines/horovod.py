@@ -14,7 +14,7 @@ from ..cluster.topology import Cluster
 from ..graph.dag import ComputationGraph
 from ..parallel.strategy import Strategy
 from ..profiling.profiler import Profile
-from ..runtime.deployment import Deployment, make_deployment
+from ..runtime.deployment import Deployment, build_deployment
 from .dp import dp_strategy
 
 
@@ -27,5 +27,5 @@ def horovod_deployment(graph: ComputationGraph, cluster: Cluster,
                        profile: Optional[Profile] = None) -> Deployment:
     """Compile Horovod's strategy under the framework-default order."""
     strategy = horovod_strategy(graph, cluster)
-    return make_deployment(graph, cluster, strategy, profile=profile,
-                           use_order_scheduling=False)
+    return build_deployment(graph, cluster, strategy, profile=profile,
+                            use_order_scheduling=False)

@@ -10,6 +10,10 @@ trace       run the full pipeline under telemetry, write a Chrome trace
             and print the critical-path blame
 faults      train under a fault-injection schedule (crash / degrade /
             straggler) and recover by elastic replanning
+serve       drive the planning service with a concurrent workload and
+            report coalescing / admission-control behaviour
+bench-service  benchmark coalesced concurrent serving against naive
+            serial replanning
 experiment  run one paper experiment (table1, table4, table7, fig3a,
             fig3b, fig8, fig9, faults)
 """
@@ -158,9 +162,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
               f"({args.episodes} episodes)...", file=sys.stderr)
         heterog = HeteroG(cluster, HeteroGConfig(episodes=args.episodes,
                                                  seed=args.seed))
-        strategy = heterog.plan(graph)
-        deployment = heterog.deploy(
-            graph, strategy, profile=heterog.agent.profile(graph.name))
+        deployment = heterog.deploy(graph)
         engine = ExecutionEngine(cluster, seed=args.seed + 1)
         with telemetry.span("pipeline.execute", graph=graph.name):
             result = engine.run_iteration(
@@ -229,6 +231,83 @@ def cmd_faults(args: argparse.Namespace) -> int:
             _write_metrics(tel.registry, args.metrics_out)
             print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     return 1 if report.stalled else 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: drive the planning service with a demo workload.
+
+    Submits ``--requests`` plan requests (``--duplicates`` identical
+    copies each) concurrently and prints what the service did with
+    them: which coalesced, which hit the result cache, which were
+    rejected by admission control.
+    """
+    from . import telemetry
+    from .config import HeteroGConfig
+    from .service import PlanRequest, PlanningService
+    from .service.bench import run_workload
+
+    model_name = _resolve_model(args.model)
+    cluster = _resolve_cluster(args.cluster)()
+    graph = build_model(model_name, args.preset)
+    config = HeteroGConfig(seed=args.seed)
+    # each unique group gets its own episode budget, so groups have
+    # distinct fingerprints while copies within a group are identical
+    requests = [
+        PlanRequest(graph=graph, cluster=cluster,
+                    episodes=args.episodes + i // max(1, args.duplicates),
+                    timeout=args.timeout, config=config,
+                    label=f"serve:{i // max(1, args.duplicates)}")
+        for i in range(args.requests * args.duplicates)
+    ]
+    print(f"serving {len(requests)} requests "
+          f"({args.requests} unique x {args.duplicates} duplicates) for "
+          f"{graph.name} on {cluster} with {args.workers} worker(s)...",
+          file=sys.stderr)
+    with telemetry.session() as tel:
+        with PlanningService(workers=args.workers,
+                             max_queue=args.max_queue) as service:
+            report = run_workload(service, requests)
+        for outcome in report.outcomes:
+            print(f"  {outcome.label:12s} {outcome.status:10s} "
+                  f"{outcome.seconds * 1e3:8.1f} ms  {outcome.detail}")
+        stats = report.stats
+        print(f"completed {report.completed}/{len(requests)} in "
+              f"{report.wall_seconds:.2f}s — executed {stats['executed']}, "
+              f"coalesced {stats['coalesced']}, "
+              f"cache hits {stats['result_hits']}, "
+              f"rejected {stats['rejected']}")
+        if args.metrics_out:
+            _write_metrics(tel.registry, args.metrics_out)
+            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    return 0
+
+
+def cmd_bench_service(args: argparse.Namespace) -> int:
+    """``repro bench-service``: coalesced concurrent vs serial replanning."""
+    from .config import HeteroGConfig
+    from .service.bench import bench_coalescing
+
+    model_name = _resolve_model(args.model)
+    cluster = _resolve_cluster(args.cluster)()
+    graph = build_model(model_name, args.preset)
+    print(f"benchmarking {args.duplicates} duplicate requests for "
+          f"{graph.name} on {cluster}...", file=sys.stderr)
+    numbers = bench_coalescing(
+        graph, cluster, duplicates=args.duplicates,
+        episodes=args.episodes, workers=args.workers,
+        config=HeteroGConfig(seed=args.seed))
+    for key, value in numbers.items():
+        print(f"  {key:26s} {value}")
+    if numbers["divergent_results"]:
+        print("error: concurrent serving diverged from serial replanning",
+              file=sys.stderr)
+        return 1
+    if args.out:
+        import json
+        with open(args.out, "w") as fh:
+            json.dump(numbers, fh, indent=2)
+        print(f"results written to {args.out}", file=sys.stderr)
+    return 0
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -359,6 +438,49 @@ def build_parser() -> argparse.ArgumentParser:
                    help="dump the telemetry metrics registry "
                    "(.prom/.txt: Prometheus text; else JSON)")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("serve",
+                       help="drive the planning service with a workload")
+    p.add_argument("model", help="model name or unique prefix")
+    p.add_argument("cluster", nargs="?", default="8gpu",
+                   help="cluster preset (8gpu, cluster8, 12gpu, ...)")
+    p.add_argument("--requests", type=int, default=2,
+                   help="unique plan requests (default: 2)")
+    p.add_argument("--duplicates", type=int, default=3,
+                   help="identical copies per request (default: 3)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="service worker threads (default: 2)")
+    p.add_argument("--episodes", type=int, default=4,
+                   help="search episodes per request (default: 4)")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline in seconds")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="admission-control queue bound (default: 64)")
+    p.add_argument("--preset", choices=["tiny", "bench", "paper"],
+                   default="bench", help="model scale (default: bench)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="dump the telemetry metrics registry "
+                   "(.prom/.txt: Prometheus text; else JSON)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("bench-service",
+                       help="benchmark coalesced vs serial planning")
+    p.add_argument("model", help="model name or unique prefix")
+    p.add_argument("cluster", nargs="?", default="4gpu",
+                   help="cluster preset (default: 4gpu)")
+    p.add_argument("--duplicates", type=int, default=6,
+                   help="duplicate requests to serve (default: 6)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="service worker threads (default: 2)")
+    p.add_argument("--episodes", type=int, default=4,
+                   help="search episodes per request (default: 4)")
+    p.add_argument("--preset", choices=["tiny", "bench", "paper"],
+                   default="tiny", help="model scale (default: tiny)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--out", metavar="PATH",
+                   help="write the numbers as JSON")
+    p.set_defaults(func=cmd_bench_service)
 
     p = sub.add_parser("experiment", help="run one paper experiment")
     p.add_argument("name", choices=["table1", "table4", "table5", "table7",

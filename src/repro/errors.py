@@ -60,5 +60,49 @@ class ProfilingError(ReproError):
     """Raised when the profiler cannot produce a prediction."""
 
 
+class ServiceError(ReproError):
+    """Base class for planning-service failures (``repro.service``)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when the service's admission queue is full.
+
+    Structured so callers can implement backpressure: ``queue_depth`` is
+    the number of requests waiting when the submission was rejected and
+    ``limit`` is the service's configured queue bound.
+    """
+
+    def __init__(self, queue_depth: int, limit: int):
+        self.queue_depth = queue_depth
+        self.limit = limit
+        super().__init__(
+            f"planning service overloaded: {queue_depth} requests queued "
+            f"(limit {limit}); retry later or raise max_queue"
+        )
+
+
+class ServiceTimeoutError(ServiceError):
+    """Raised when a plan request misses its deadline.
+
+    ``stage`` is ``"queue"`` when the deadline expired before the
+    request was dispatched to a worker (the service fails it fast
+    without evaluating) and ``"wait"`` when the caller stopped waiting
+    for an in-flight computation.
+    """
+
+    def __init__(self, timeout: float, stage: str = "wait",
+                 fingerprint: str = ""):
+        self.timeout = timeout
+        self.stage = stage
+        self.fingerprint = fingerprint
+        super().__init__(
+            f"plan request timed out after {timeout:.3f}s ({stage})"
+        )
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when submitting to (or waiting on) a closed service."""
+
+
 class StrategyError(ReproError):
     """Raised for invalid strategy encodings or action vectors."""

@@ -22,7 +22,7 @@ from ..graph.models import build_model
 from ..parallel.strategy import Strategy
 from ..plan import PlanBuilder
 from ..profiling.profiler import Profile, Profiler
-from ..runtime.deployment import make_deployment
+from ..runtime.deployment import build_deployment
 from ..runtime.execution_engine import ExecutionEngine
 
 
@@ -138,7 +138,7 @@ class ExperimentContext:
                 label: str, *, use_order_scheduling: bool = True,
                 iterations: Optional[int] = None) -> MeasuredStrategy:
         """Deploy + run a strategy on the engine; OOM becomes a row value."""
-        deployment = make_deployment(
+        deployment = build_deployment(
             graph, self.cluster, strategy,
             builder=self.builder(
                 graph, use_order_scheduling=use_order_scheduling

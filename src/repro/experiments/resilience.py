@@ -29,7 +29,7 @@ from ..resilience import (
     ResilienceReport,
     ResilientTrainer,
 )
-from ..runtime.deployment import make_deployment
+from ..runtime.deployment import build_deployment
 from ..runtime.execution_engine import ExecutionEngine
 from .common import (
     ExperimentContext,
@@ -109,8 +109,8 @@ def fault_sweep(cluster: Cluster, *,
     searched = ctx.run_heterog(
         graph, episodes=episodes if episodes is not None
         else env_episodes(8), agent_config=config)
-    deployment = make_deployment(graph, cluster, searched.strategy,
-                                 builder=ctx.builder(graph))
+    deployment = build_deployment(graph, cluster, searched.strategy,
+                                  builder=ctx.builder(graph))
     replanner = Replanner(graph, cluster, agent_config=config,
                           episodes=replan_episodes, seed=seed)
     rows: List[FaultSweepRow] = []

@@ -1,8 +1,14 @@
 """The HeteroG facade: Graph Analyzer -> Strategy Maker -> Graph Compiler.
 
 Ties the whole pipeline of Fig. 4 together for one (graph, cluster)
-pair: profile, build the agent, run the strategy search, compile the
-best strategy, schedule it, and hand back a runnable deployment.
+pair.  Since the planning-service redesign the facade is a thin client
+of an inline :class:`~repro.service.PlanningService` (``workers=0`` —
+everything runs synchronously on the caller's thread): ``plan`` and
+``deploy`` assemble typed :class:`~repro.service.PlanRequest` objects
+and let the service's warm per-(graph, cluster, config) contexts do the
+profiling, search, compilation and scheduling.  Repeated calls on the
+same facade therefore hit the service's plan and result caches instead
+of re-driving the pipeline.
 """
 
 from __future__ import annotations
@@ -11,38 +17,35 @@ import dataclasses
 from typing import Optional
 
 from . import telemetry
-from .agent.agent import HeteroGAgent
 from .cluster.topology import Cluster
 from .config import HeteroGConfig
 from .graph.analyzer import GraphAnalysis, GraphAnalyzer
 from .graph.dag import ComputationGraph
 from .parallel.strategy import Strategy
-from .profiling.measurements import MeasurementNoise
-from .profiling.profiler import Profile, Profiler
+from .profiling.profiler import Profile
 from .resilience import (
     FaultInjector,
     FaultSchedule,
     Replanner,
     ResilientTrainer,
 )
-from .runtime.deployment import Deployment, make_deployment
+from .runtime.deployment import Deployment
 from .runtime.execution_engine import ExecutionEngine
 from .runtime.runner import DistributedRunner
+from .service import PlanningService, PlanRequest, PlanResult
 
 
 class HeteroG:
     """One strategy-search session for a single DNN graph."""
 
     def __init__(self, cluster: Cluster,
-                 config: Optional[HeteroGConfig] = None):
+                 config: Optional[HeteroGConfig] = None,
+                 service: Optional[PlanningService] = None):
         self.cluster = cluster
         self.config = config or HeteroGConfig()
-        agent_config = dataclasses.replace(
-            self.config.agent,
-            use_order_scheduling=self.config.use_order_scheduling,
-            seed=self.config.seed,
-        )
-        self.agent = HeteroGAgent(cluster, agent_config)
+        # inline service: deterministic, serial, same caches as `serve`
+        self.service = service if service is not None \
+            else PlanningService(workers=0, name="heterog")
         self._analysis: Optional[GraphAnalysis] = None
 
     # ------------------------------------------------------------------ #
@@ -53,52 +56,49 @@ class HeteroG:
         return self._analysis
 
     def profile(self, graph: ComputationGraph) -> Profile:
-        """Run the Profiler (Sec. 3.3)."""
-        with telemetry.span("pipeline.profile", graph=graph.name):
-            return Profiler(
-                noise=MeasurementNoise(self.config.profile_noise_sigma),
-                seed=self.config.seed,
-            ).profile(graph, self.cluster)
+        """Run the Profiler (Sec. 3.3) on the service's warm context."""
+        return self.service.context_for(self._request(graph)).profile
 
     # ------------------------------------------------------------------ #
+    def _request(self, graph: ComputationGraph,
+                 strategy: Optional[Strategy] = None,
+                 profile: Optional[Profile] = None,
+                 episodes: Optional[int] = None) -> PlanRequest:
+        return PlanRequest(
+            graph=graph,
+            cluster=self.cluster,
+            strategy=strategy,
+            profile=profile,
+            episodes=episodes if episodes is not None
+            else self.config.episodes,
+            use_order_scheduling=self.config.use_order_scheduling,
+            config=self.config,
+            label="heterog",
+        )
+
+    def plan_result(self, graph: ComputationGraph,
+                    strategy: Optional[Strategy] = None,
+                    profile: Optional[Profile] = None,
+                    episodes: Optional[int] = None) -> PlanResult:
+        """Route one typed request through the planning service."""
+        return self.service.plan(
+            self._request(graph, strategy, profile, episodes))
+
     def plan(self, graph: ComputationGraph,
              profile: Optional[Profile] = None,
              episodes: Optional[int] = None) -> Strategy:
         """Search for the best deployment strategy for ``graph``."""
         self.analyze(graph)
-        if profile is None:
-            profile = self.profile(graph)
-        with telemetry.span("pipeline.group", graph=graph.name):
-            ctx = self.agent.add_graph(graph, profile)
-        with telemetry.span("pipeline.search", graph=graph.name):
-            self.agent.train(episodes if episodes is not None
-                             else self.config.episodes)
-            return self.agent.best_strategy(ctx.name)
+        return self.plan_result(graph, profile=profile,
+                                episodes=episodes).strategy
 
     def deploy(self, graph: ComputationGraph,
                strategy: Optional[Strategy] = None,
                profile: Optional[Profile] = None) -> Deployment:
         """Compile + schedule a strategy (searching one if not given)."""
-        if strategy is None:
-            strategy = self.plan(graph, profile)
-            profile = self.agent.profile(graph.name)
-        if profile is None:
-            profile = self.profile(graph)
-        ctx = self.agent.try_context(graph.name)
-        ctx_groups = ctx.grouping.group_of if ctx is not None else None
-        # when deploying under the search's own profile, reuse the
-        # evaluator's PlanBuilder: the winning strategy's plan is usually
-        # already in its cache, so deploy costs a dictionary lookup
-        builder = None
-        if ctx is not None and profile is self.agent.profile(graph.name):
-            builder = ctx.evaluator.builder
-        with telemetry.span("pipeline.schedule", graph=graph.name):
-            return make_deployment(
-                graph, self.cluster, strategy, profile=profile,
-                use_order_scheduling=self.config.use_order_scheduling,
-                group_of=ctx_groups,
-                builder=builder,
-            )
+        result = self.plan_result(graph, strategy=strategy, profile=profile)
+        assert result.deployment is not None  # searches raise when infeasible
+        return result.deployment
 
     def runner(self, deployment: Deployment) -> DistributedRunner:
         engine = ExecutionEngine(
@@ -138,6 +138,7 @@ class HeteroG:
                 deployment.graph, self.cluster,
                 agent_config=agent_config, episodes=episodes,
                 seed=self.config.seed,
+                service=self.service,
             )
         return ResilientTrainer(deployment, injector, engine=engine,
                                 replanner=replanner, policy=policy)

@@ -8,22 +8,27 @@ as fairness, maximal resource utilization or job completion time
 minimization."
 
 This module implements that loop: it partitions the cluster's GPUs among
-jobs, queries HeteroG (or a cheaper CP-AR planner) for each job's
-training speed on each candidate allocation, and greedily assigns GPUs
-to maximize the chosen objective.
+jobs, queries the planning service for each job's training speed on each
+candidate allocation, and greedily assigns GPUs to maximize the chosen
+objective.  Speed queries are typed :class:`~repro.service.PlanRequest`
+objects, so identical (graph, allocation) candidates — which the greedy
+loop re-evaluates constantly — are answered from the service's
+fingerprint-keyed result cache instead of re-profiling and re-compiling
+the sub-cluster.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence
 
 from .baselines.dp import dp_strategy
 from .cluster.topology import Cluster
+from .config import HeteroGConfig
 from .errors import ReproError
-from .experiments.common import ExperimentContext
 from .graph.dag import ComputationGraph
+from .service import PlanningService, PlanRequest
 
 
 class Objective(enum.Enum):
@@ -65,8 +70,8 @@ class Allocation:
 SpeedFn = Callable[[Job, Sequence[str]], float]
 
 
-def cp_ar_speed_fn(cluster: Cluster, seed: int = 0,
-                   iterations: int = 2) -> SpeedFn:
+def cp_ar_speed_fn(cluster: Cluster, seed: int = 0, iterations: int = 2,
+                   service: Optional[PlanningService] = None) -> SpeedFn:
     """Fast speed oracle: CP-AR data parallelism on the sub-cluster.
 
     A full HeteroG search per candidate allocation is the faithful (but
@@ -74,30 +79,31 @@ def cp_ar_speed_fn(cluster: Cluster, seed: int = 0,
     outer allocation loop, as the paper suggests using HeteroG "as a
     blackbox".
 
-    One ExperimentContext is kept per candidate device set, so profiles
-    and compiled plans are reused when the allocator re-queries the same
-    sub-cluster for different jobs.
+    Every query goes through the planning service as a *build* request
+    (explicit CP-AR strategy, engine-measured), so profiles and compiled
+    plans are reused per candidate device set and identical queries hit
+    the service's result cache.
     """
-    contexts: Dict[Tuple[str, ...], ExperimentContext] = {}
+    plan_service = service if service is not None \
+        else PlanningService(workers=0, name="multijob")
+    config = HeteroGConfig(seed=seed)
 
     def speed(job: Job, devices: Sequence[str]) -> float:
-        sub_key = tuple(sorted(devices))
-        ctx = contexts.get(sub_key)
-        if ctx is None:
-            ctx = ExperimentContext(cluster.subcluster(list(devices)),
-                                    seed=seed)
-            contexts[sub_key] = ctx
-        sub = ctx.cluster
+        sub = cluster.subcluster(list(devices))
         if sub.num_devices == 1:
             from .parallel.strategy import single_device_strategy
             strategy = single_device_strategy(job.graph, sub)
         else:
             strategy = dp_strategy("CP-AR", job.graph, sub)
-        measured = ctx.measure(job.graph, strategy, "CP-AR",
-                               iterations=iterations)
-        if measured.oom or measured.time <= 0:
-            return 0.0
-        return job.global_batch / measured.time
+        result = plan_service.plan(PlanRequest(
+            graph=job.graph,
+            cluster=sub,
+            strategy=strategy,
+            measure_iterations=iterations,
+            config=config,
+            label=f"multijob:{job.name}",
+        ))
+        return result.speed(job.global_batch)
 
     return speed
 
@@ -106,16 +112,15 @@ class MultiJobAllocator:
     """Greedy marginal-gain GPU allocation across jobs."""
 
     def __init__(self, cluster: Cluster, speed_fn: Optional[SpeedFn] = None,
-                 seed: int = 0):
+                 seed: int = 0, service: Optional[PlanningService] = None):
         self.cluster = cluster
-        self.speed_fn = speed_fn or cp_ar_speed_fn(cluster, seed=seed)
-        self._cache: Dict[Tuple[str, Tuple[str, ...]], float] = {}
+        self.service = service if service is not None \
+            else PlanningService(workers=0, name="multijob")
+        self.speed_fn = speed_fn or cp_ar_speed_fn(cluster, seed=seed,
+                                                   service=self.service)
 
     def _speed(self, job: Job, devices: Sequence[str]) -> float:
-        key = (job.name, tuple(sorted(devices)))
-        if key not in self._cache:
-            self._cache[key] = self.speed_fn(job, devices)
-        return self._cache[key]
+        return self.speed_fn(job, devices)
 
     def allocate(self, jobs: Sequence[Job],
                  objective: Objective = Objective.MAX_THROUGHPUT

@@ -1,34 +1,36 @@
 """Elastic replanning: re-run strategy search on the surviving cluster.
 
-The :class:`Replanner` owns one *search session* per degraded-cluster
-state: a profile of the graph on that cluster, a
-:class:`~repro.agent.HeteroGAgent` whose evaluator wraps a warm
-:class:`~repro.plan.PlanBuilder`, and the best strategy found so far.
-Sessions are keyed by the cluster's content fingerprint, so replanning
+The :class:`Replanner` is a client of the planning service: every
+replan is one typed :class:`~repro.service.PlanRequest` (a strategy
+*search* on the degraded cluster) submitted to an inline
+:class:`~repro.service.PlanningService`.  The service keys its warm
+contexts by (graph, cluster, config) content fingerprint, so replanning
 twice into the same degraded state (crash -> replan -> NIC degrade ->
 replan, then the NIC recovers... or a sweep revisiting a scenario)
 reuses the whole warmed session — policy weights, plan cache and
-outcome cache included.  Within a single search the usual plan-layer
-caching applies: repeated candidate strategies hit the outcome cache,
-and the winning strategy's final build is a plan-cache hit (asserted by
-the acceptance tests through the ``plan_cache_hits_total`` counters).
+outcome cache included — and an *identical* replan request is answered
+straight from the service's result cache.  Within a single search the
+usual plan-layer caching applies: repeated candidate strategies hit the
+outcome cache, and the winning strategy's final build is a plan-cache
+hit (asserted by the acceptance tests through the
+``plan_cache_hits_total`` counters).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
 from .. import telemetry
-from ..agent.agent import AgentConfig, HeteroGAgent
+from ..agent.agent import AgentConfig
 from ..cluster.topology import Cluster
+from ..config import HeteroGConfig
 from ..errors import ReproError
 from ..graph.dag import ComputationGraph
-from ..plan import EvalOutcome, PlanBuilder
-from ..plan.fingerprint import _cluster_payload, _digest
-from ..profiling.profiler import Profiler
-from ..runtime.deployment import Deployment, deployment_from_plan
+from ..plan import EvalOutcome
+from ..runtime.deployment import Deployment
+from ..service import PlanningService, PlanRequest
 
 
 @dataclass
@@ -49,48 +51,37 @@ class RecoveryPlan:
         return self.outcome.feasible
 
 
-class _Session:
-    """One warmed search session for a specific degraded cluster."""
-
-    def __init__(self, graph: ComputationGraph, cluster: Cluster,
-                 config: AgentConfig, seed: int):
-        self.cluster = cluster
-        self.profile = Profiler(seed=seed).profile(graph, cluster)
-        self.agent = HeteroGAgent(cluster, config)
-        self.context = self.agent.add_graph(graph, self.profile)
-        self.uses = 0
-
-    @property
-    def builder(self) -> PlanBuilder:
-        return self.context.evaluator.builder
-
-
 class Replanner:
     """Searches replacement deployments when the cluster degrades."""
 
     def __init__(self, graph: ComputationGraph, base_cluster: Cluster, *,
                  agent_config: Optional[AgentConfig] = None,
-                 episodes: int = 6, max_rounds: int = 3, seed: int = 0):
+                 episodes: int = 6, max_rounds: int = 3, seed: int = 0,
+                 service: Optional[PlanningService] = None):
         if episodes < 1:
             raise ReproError(f"episodes must be >= 1, got {episodes}")
         self.graph = graph
         self.base_cluster = base_cluster
-        self.agent_config = agent_config
+        self.agent_config = agent_config or AgentConfig(seed=seed)
         self.episodes = episodes
         self.max_rounds = max_rounds
         self.seed = seed
-        self._sessions: Dict[str, _Session] = {}
+        self.service = service if service is not None \
+            else PlanningService(workers=0, name="replanner")
+        self._config = HeteroGConfig(seed=seed, agent=self.agent_config)
 
     # ---------------------------------------------------------------- #
-    def session_for(self, cluster: Cluster) -> _Session:
-        """The (possibly warmed) search session for a degraded cluster."""
-        key = _digest(_cluster_payload(cluster))
-        session = self._sessions.get(key)
-        if session is None:
-            config = self.agent_config or AgentConfig(seed=self.seed)
-            session = _Session(self.graph, cluster, config, self.seed)
-            self._sessions[key] = session
-        return session
+    def _request(self, cluster: Cluster,
+                 episodes: Optional[int]) -> PlanRequest:
+        return PlanRequest(
+            graph=self.graph,
+            cluster=cluster,
+            episodes=episodes if episodes is not None else self.episodes,
+            max_rounds=self.max_rounds,
+            use_order_scheduling=self.agent_config.use_order_scheduling,
+            config=self._config,
+            label="replan",
+        )
 
     def replan(self, cluster: Cluster, *,
                episodes: Optional[int] = None) -> RecoveryPlan:
@@ -101,31 +92,10 @@ class Replanner:
         :class:`ReproError` if none is found — the cluster may simply be
         too small for the model.
         """
-        budget = episodes if episodes is not None else self.episodes
-        session = self.session_for(cluster)
-        reused = session.uses > 0
-        session.uses += 1
-        builder = session.builder
         start = time.time()
-        outcome: Optional[EvalOutcome] = None
-        ran = 0
         with telemetry.span("resilience.replan", graph=self.graph.name,
                             devices=cluster.num_devices):
-            for _ in range(self.max_rounds):
-                session.agent.train(budget)
-                ran += budget
-                strategy = session.agent.trainer.best_strategy(
-                    self.graph.name)
-                if strategy is None:
-                    continue
-                outcome = builder.evaluate(strategy)
-                if outcome.feasible:
-                    break
-            if outcome is None or not outcome.feasible:
-                raise ReproError(
-                    f"replan found no feasible strategy for "
-                    f"{self.graph.name!r} on {cluster} after {ran} episodes")
-            plan = builder.build(strategy)  # plan-cache hit: built above
+            result = self.service.plan(self._request(cluster, episodes))
         elapsed = time.time() - start
         tel = telemetry.active()
         if tel is not None:
@@ -137,13 +107,14 @@ class Replanner:
                 "resilience_replan_seconds",
                 help="wall-clock spent searching replacement plans",
             ).observe(elapsed)
+        assert result.deployment is not None  # searches raise when infeasible
         return RecoveryPlan(
-            deployment=deployment_from_plan(plan),
+            deployment=result.deployment,
             cluster=cluster,
-            outcome=outcome,
+            outcome=result.outcome,
             search_seconds=elapsed,
-            plan_cache_hits=builder.plan_cache.hits,
-            outcome_cache_hits=builder.outcome_cache.hits,
-            reused_session=reused,
-            episodes=ran,
+            plan_cache_hits=result.plan_cache_hits,
+            outcome_cache_hits=result.outcome_cache_hits,
+            reused_session=result.reused_context or result.from_cache,
+            episodes=result.episodes,
         )

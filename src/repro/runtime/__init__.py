@@ -1,6 +1,11 @@
 """Runtime: execution engine (testbed stand-in), deployments, runner."""
 
-from .deployment import Deployment, deployment_from_plan, make_deployment
+from .deployment import (
+    Deployment,
+    build_deployment,
+    deployment_from_plan,
+    make_deployment,
+)
 from .execution_engine import ExecutionEngine, IterationStats
 from .runner import DistributedRunner, TrainingReport
 from .trainer_loop import (
@@ -13,6 +18,7 @@ from .trainer_loop import (
 
 __all__ = [
     "Deployment",
+    "build_deployment",
     "deployment_from_plan",
     "make_deployment",
     "ExecutionEngine",

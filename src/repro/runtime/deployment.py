@@ -1,18 +1,22 @@
 """Deployment bundle: compiled graph + schedule + placement metadata.
 
-``make_deployment`` is a thin wrapper over the plan layer: the actual
-compile -> schedule chain runs inside :class:`repro.plan.PlanBuilder`,
-and a :class:`Deployment` is just an :class:`~repro.plan.ExecutionPlan`
-re-shaped for the execution engine (plus the plan itself, for consumers
-that want the fingerprint or capacities).
+``build_deployment`` is the one canonical constructor: it accepts
+either a ready :class:`~repro.plan.ExecutionPlan` or a
+(graph, cluster, strategy) triple, runs the plan layer when needed, and
+re-shapes the plan into the engine-facing :class:`Deployment` (plus the
+plan itself, for consumers that want the fingerprint or capacities).
+The historical ``make_deployment`` / ``deployment_from_plan`` split is
+kept as thin deprecated wrappers.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from ..cluster.topology import Cluster
+from ..errors import ReproError
 from ..graph.dag import ComputationGraph
 from ..parallel.distgraph import DistGraph
 from ..parallel.strategy import Strategy
@@ -39,8 +43,50 @@ class Deployment:
         return len(self.dist)
 
 
-def deployment_from_plan(plan: ExecutionPlan) -> Deployment:
-    """Re-shape an ExecutionPlan into the engine-facing Deployment."""
+def build_deployment(source: Union[ExecutionPlan, ComputationGraph],
+                     cluster: Optional[Cluster] = None,
+                     strategy: Optional[Strategy] = None, *,
+                     profile: Optional[Profile] = None,
+                     use_order_scheduling: bool = True,
+                     group_of: Optional[Dict[str, int]] = None,
+                     builder: Optional[PlanBuilder] = None) -> Deployment:
+    """The canonical Deployment constructor.
+
+    Two call shapes:
+
+    - ``build_deployment(plan)`` — re-shape an already-built
+      :class:`ExecutionPlan` (no compilation happens);
+    - ``build_deployment(graph, cluster, strategy, ...)`` — compile +
+      schedule through the plan layer.  Pass ``builder`` to reuse an
+      existing :class:`PlanBuilder` (and its plan cache) instead of
+      constructing a fresh context.
+    """
+    if isinstance(source, ExecutionPlan):
+        if cluster is not None or strategy is not None \
+                or builder is not None:
+            raise ReproError(
+                "build_deployment(plan) takes no cluster/strategy/builder "
+                "— the plan already carries them"
+            )
+        plan = source
+    else:
+        if not isinstance(source, ComputationGraph):
+            raise ReproError(
+                f"build_deployment takes an ExecutionPlan or a "
+                f"ComputationGraph, got {type(source).__name__}"
+            )
+        if cluster is None or strategy is None:
+            raise ReproError(
+                "build_deployment(graph, ...) needs both a cluster and a "
+                "strategy"
+            )
+        if builder is None:
+            builder = PlanBuilder(
+                source, cluster, profile,
+                use_order_scheduling=use_order_scheduling,
+                group_of=group_of,
+            )
+        plan = builder.build(strategy)
     return Deployment(
         graph=plan.graph,
         cluster=plan.cluster,
@@ -53,20 +99,29 @@ def deployment_from_plan(plan: ExecutionPlan) -> Deployment:
     )
 
 
+def deployment_from_plan(plan: ExecutionPlan) -> Deployment:
+    """Deprecated alias of ``build_deployment(plan)``."""
+    warnings.warn(
+        "deployment_from_plan() is deprecated; use build_deployment(plan)",
+        DeprecationWarning, stacklevel=2,
+    )
+    return build_deployment(plan)
+
+
 def make_deployment(graph: ComputationGraph, cluster: Cluster,
                     strategy: Strategy, *,
                     profile: Optional[Profile] = None,
                     use_order_scheduling: bool = True,
                     group_of: Optional[Dict[str, int]] = None,
                     builder: Optional[PlanBuilder] = None) -> Deployment:
-    """Compile + schedule a strategy into a runnable deployment.
-
-    Pass ``builder`` to reuse an existing :class:`PlanBuilder` (and its
-    plan cache) instead of constructing a fresh context.
-    """
-    if builder is None:
-        builder = PlanBuilder(
-            graph, cluster, profile,
-            use_order_scheduling=use_order_scheduling, group_of=group_of,
-        )
-    return deployment_from_plan(builder.build(strategy))
+    """Deprecated alias of ``build_deployment(graph, cluster, strategy)``."""
+    warnings.warn(
+        "make_deployment() is deprecated; use "
+        "build_deployment(graph, cluster, strategy, ...)",
+        DeprecationWarning, stacklevel=2,
+    )
+    return build_deployment(
+        graph, cluster, strategy, profile=profile,
+        use_order_scheduling=use_order_scheduling, group_of=group_of,
+        builder=builder,
+    )

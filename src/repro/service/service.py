@@ -1,0 +1,379 @@
+"""The long-lived planning service: admit -> coalesce -> plan -> respond.
+
+:class:`PlanningService` is the single front door to the planning
+pipeline.  It accepts typed :class:`~repro.service.request.PlanRequest`
+objects, and:
+
+- **dedupes** — identical in-flight requests (same content fingerprint)
+  are coalesced onto one computation; identical *completed* requests
+  are served from a bounded result cache without any new work;
+- **admits** — the priority queue is bounded; a full queue rejects new
+  work fast with a structured
+  :class:`~repro.errors.ServiceOverloadedError`, and requests whose
+  deadline expires while queued are failed without being evaluated;
+- **dispatches** — a bounded pool of daemon worker threads serves
+  requests in (priority, arrival) order on warm
+  :class:`~repro.service.context.PlanContext` sessions, one lock per
+  context, so distinct contexts plan concurrently while results stay
+  bit-identical to serial execution.
+
+``workers=0`` runs the whole pipeline inline on the caller's thread
+(no queue, no threads) — the mode the :class:`~repro.heterog.HeteroG`
+facade and the resilience replanner use, where ordering is already
+serial and determinism is the priority.
+
+Telemetry (when a session is active): ``service_queue_depth`` gauge,
+``service_wait_seconds`` / ``service_latency_seconds`` histograms, and
+``service_requests_total`` / ``service_coalesced_total`` /
+``service_rejected_total`` / ``service_timeouts_total`` counters, plus
+the shared ``plan_cache_{hits,misses}_total{kind="service"}`` counters
+from the result cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from .. import telemetry
+from ..errors import (
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
+from ..plan import PlanCache
+from .context import PlanContext
+from .request import PlanRequest, PlanResult
+
+DEFAULT_WORKERS = 2
+DEFAULT_MAX_QUEUE = 64
+DEFAULT_MAX_CONTEXTS = 16
+DEFAULT_RESULT_CACHE = 256
+
+
+class PlanTicket:
+    """Future-like handle for one admitted (or coalesced) request."""
+
+    def __init__(self, request: PlanRequest, fingerprint: str, seq: int = 0):
+        self.request = request
+        self.fingerprint = fingerprint
+        self.seq = seq
+        self.waiters = 1
+        self.submitted_at = time.perf_counter()
+        self.deadline = (self.submitted_at + request.timeout
+                         if request.timeout is not None else None)
+        self._event = threading.Event()
+        self._result: Optional[PlanResult] = None
+        self._error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    def _resolve(self, result: Optional[PlanResult],
+                 error: Optional[BaseException] = None) -> None:
+        self._result = result
+        self._error = error
+        self._event.set()
+
+    @property
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> PlanResult:
+        """Block until the request resolves; raise its structured error.
+
+        Raises :class:`~repro.errors.ServiceTimeoutError` when the wait
+        exceeds ``timeout`` — the computation itself keeps running and
+        later duplicates may still coalesce onto it.
+        """
+        if not self._event.wait(timeout):
+            raise ServiceTimeoutError(timeout or 0.0, stage="wait",
+                                      fingerprint=self.fingerprint)
+        if self._error is not None:
+            raise self._error
+        assert self._result is not None
+        return self._result
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Plain counters mirrored into telemetry (always available)."""
+
+    submitted: int = 0
+    executed: int = 0        # requests actually evaluated
+    coalesced: int = 0       # folded onto an in-flight duplicate
+    result_hits: int = 0     # served from the completed-result cache
+    rejected: int = 0        # refused by admission control
+    timeouts: int = 0        # queue-expired or caller stopped waiting
+    completed: int = 0
+    failed: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class PlanningService:
+    """In-process plan-serving layer with coalescing and admission control."""
+
+    def __init__(self, *, workers: int = DEFAULT_WORKERS,
+                 max_queue: int = DEFAULT_MAX_QUEUE,
+                 max_contexts: int = DEFAULT_MAX_CONTEXTS,
+                 result_cache_size: int = DEFAULT_RESULT_CACHE,
+                 name: str = "planning"):
+        if workers < 0:
+            raise ReproError(f"workers must be >= 0, got {workers}")
+        if max_queue < 1:
+            raise ReproError(f"max_queue must be >= 1, got {max_queue}")
+        if max_contexts < 1:
+            raise ReproError(f"max_contexts must be >= 1, got {max_contexts}")
+        self.workers = workers
+        self.max_queue = max_queue
+        self.max_contexts = max_contexts
+        self.name = name
+        self.stats = ServiceStats()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._queue: List[Tuple[int, int, str]] = []  # (-priority, seq, fp)
+        self._tickets: Dict[str, PlanTicket] = {}     # in-flight by fp
+        self._results = PlanCache(result_cache_size, kind="service")
+        self._contexts: "OrderedDict[str, PlanContext]" = OrderedDict()
+        self._threads: List[threading.Thread] = []
+        self._seq = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "PlanningService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, request: PlanRequest) -> PlanTicket:
+        """Admit one request; returns immediately with a ticket.
+
+        Raises :class:`ServiceOverloadedError` when the queue is full
+        and :class:`ServiceClosedError` after :meth:`close`.
+        """
+        if not isinstance(request, PlanRequest):
+            raise ReproError(
+                f"submit() takes a PlanRequest, got "
+                f"{type(request).__name__}")
+        fp = request.fingerprint
+        inline: Optional[PlanTicket] = None
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError(
+                    f"planning service {self.name!r} is closed")
+            self.stats.submitted += 1
+            cached = self._results.get(fp)
+            if cached is not None:
+                self.stats.result_hits += 1
+                ticket = PlanTicket(request, fp)
+                ticket._resolve(dataclasses.replace(cached, from_cache=True))
+                return ticket
+            existing = self._tickets.get(fp)
+            if existing is not None:
+                existing.waiters += 1
+                self.stats.coalesced += 1
+                self._count("service_coalesced_total")
+                return existing
+            if self.workers == 0:
+                inline = PlanTicket(request, fp)
+                self._tickets[fp] = inline
+            else:
+                if len(self._queue) >= self.max_queue:
+                    self.stats.rejected += 1
+                    self._count("service_rejected_total")
+                    raise ServiceOverloadedError(len(self._queue),
+                                                 self.max_queue)
+                self._seq += 1
+                ticket = PlanTicket(request, fp, seq=self._seq)
+                self._tickets[fp] = ticket
+                heapq.heappush(self._queue,
+                               (-request.priority, ticket.seq, fp))
+                self._gauge("service_queue_depth", len(self._queue))
+                self._ensure_workers()
+                self._not_empty.notify()
+                return ticket
+        # workers == 0: execute synchronously on the caller's thread
+        self._run_ticket(inline)
+        return inline
+
+    def plan(self, request: PlanRequest) -> PlanResult:
+        """Submit and wait: the blocking convenience entrypoint."""
+        ticket = self.submit(request)
+        try:
+            return ticket.result(request.timeout)
+        except ServiceTimeoutError as exc:
+            if exc.stage == "wait":
+                with self._lock:
+                    self.stats.timeouts += 1
+                self._count("service_timeouts_total", {"stage": "wait"})
+            raise
+
+    def close(self) -> None:
+        """Stop accepting work; fail queued requests; join the workers."""
+        with self._not_empty:
+            if self._closed:
+                return
+            self._closed = True
+            pending = []
+            for _, _, fp in self._queue:
+                ticket = self._tickets.pop(fp, None)
+                if ticket is not None:
+                    pending.append(ticket)
+            self._queue.clear()
+            self._gauge("service_queue_depth", 0)
+            self._not_empty.notify_all()
+        for ticket in pending:
+            ticket._resolve(None, ServiceClosedError(
+                f"planning service {self.name!r} closed before serving "
+                f"request {ticket.fingerprint[:12]}"))
+        for thread in self._threads:
+            thread.join(timeout=60.0)
+        self._threads.clear()
+
+    # ------------------------------------------------------------------ #
+    def context_for(self, request: PlanRequest) -> PlanContext:
+        """The (possibly warmed) context a request would be served on."""
+        key = request.context_key
+        with self._lock:
+            ctx = self._contexts.get(key)
+            if ctx is None:
+                ctx = PlanContext(request)
+                self._contexts[key] = ctx
+                if len(self._contexts) > self.max_contexts:
+                    self._contexts.popitem(last=False)
+            else:
+                self._contexts.move_to_end(key)
+            return ctx
+
+    # ------------------------------------------------------------------ #
+    def _ensure_workers(self) -> None:
+        """Spawn worker threads lazily (caller holds the lock)."""
+        while len(self._threads) < self.workers:
+            thread = threading.Thread(
+                target=self._worker, daemon=True,
+                name=f"{self.name}-worker-{len(self._threads)}")
+            self._threads.append(thread)
+            thread.start()
+
+    def _worker(self) -> None:
+        while True:
+            with self._not_empty:
+                while not self._queue and not self._closed:
+                    self._not_empty.wait()
+                if self._closed and not self._queue:
+                    return
+                _, _, fp = heapq.heappop(self._queue)
+                self._gauge("service_queue_depth", len(self._queue))
+                ticket = self._tickets.get(fp)
+            if ticket is not None:
+                self._run_ticket(ticket)
+
+    def _run_ticket(self, ticket: PlanTicket) -> None:
+        queue_seconds = time.perf_counter() - ticket.submitted_at
+        self._observe("service_wait_seconds", queue_seconds)
+        if ticket.deadline is not None \
+                and time.perf_counter() > ticket.deadline:
+            # deadline missed while queued: fail fast, never evaluate
+            with self._lock:
+                self.stats.timeouts += 1
+            self._count("service_timeouts_total", {"stage": "queue"})
+            self._finish(ticket, error=ServiceTimeoutError(
+                ticket.request.timeout or 0.0, stage="queue",
+                fingerprint=ticket.fingerprint))
+            return
+        try:
+            result = self._serve(ticket.request, queue_seconds)
+        except ReproError as exc:
+            self._finish(ticket, error=exc)
+            return
+        except (ValueError, KeyError, TypeError) as exc:
+            # stray errors from graph/cluster plumbing become structured
+            self._finish(ticket, error=ServiceError(
+                f"planning failed for {ticket.request.graph.name!r}: {exc}"))
+            return
+        self._finish(ticket, result=result)
+
+    def _serve(self, request: PlanRequest,
+               queue_seconds: float) -> PlanResult:
+        start = time.perf_counter()
+        ctx = self.context_for(request)
+        with telemetry.span("service.request", graph=request.graph.name,
+                            kind="search" if request.is_search else "build",
+                            label=request.label):
+            with ctx.lock:
+                reused = ctx.served > 0
+                with self._lock:
+                    self.stats.executed += 1
+                served = ctx.handle(request)
+        return PlanResult(
+            fingerprint=request.fingerprint,
+            strategy=served.strategy,
+            outcome=served.outcome,
+            deployment=served.deployment,
+            profile=served.profile,
+            episodes=served.episodes,
+            reused_context=reused,
+            plan_cache_hits=served.plan_cache_hits,
+            outcome_cache_hits=served.outcome_cache_hits,
+            queue_seconds=queue_seconds,
+            service_seconds=time.perf_counter() - start,
+            measured_time=served.measured_time,
+            measured_oom=served.measured_oom,
+        )
+
+    def _finish(self, ticket: PlanTicket,
+                result: Optional[PlanResult] = None,
+                error: Optional[BaseException] = None) -> None:
+        with self._lock:
+            self._tickets.pop(ticket.fingerprint, None)
+            if result is not None:
+                result.coalesced = ticket.waiters - 1
+                # only successes are cached: a timeout or failure never
+                # poisons the result cache
+                self._results.put(ticket.fingerprint, result)
+                self.stats.completed += 1
+                status = "completed"
+            else:
+                self.stats.failed += 1
+                status = "failed"
+        self._count("service_requests_total", {"status": status})
+        self._observe("service_latency_seconds",
+                      time.perf_counter() - ticket.submitted_at)
+        ticket._resolve(result, error)
+
+    # ------------------------------------------------------------------ #
+    def _count(self, metric: str,
+               labels: Optional[Dict[str, str]] = None) -> None:
+        tel = telemetry.active()
+        if tel is not None:
+            tel.registry.counter(
+                metric, labels=labels,
+                help="planning-service request accounting",
+            ).inc()
+
+    def _gauge(self, metric: str, value: float) -> None:
+        tel = telemetry.active()
+        if tel is not None:
+            tel.registry.gauge(
+                metric, help="planning-service queue depth",
+            ).set(value)
+
+    def _observe(self, metric: str, value: float) -> None:
+        tel = telemetry.active()
+        if tel is not None:
+            tel.registry.histogram(
+                metric, help="planning-service latency breakdown",
+            ).observe(value)

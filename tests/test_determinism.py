@@ -82,7 +82,7 @@ def test_faulted_run_reproducible(four_gpu):
         ResilientTrainer,
     )
     from repro.runtime import ExecutionEngine
-    from repro.runtime.deployment import make_deployment
+    from repro.runtime.deployment import build_deployment
 
     cfg = AgentConfig(max_groups=8, gat_hidden=16, gat_layers=2,
                       gat_heads=2, strategy_dim=16, strategy_heads=2,
@@ -91,7 +91,7 @@ def test_faulted_run_reproducible(four_gpu):
     def run():
         g = make_mlp(name="det_faults")
         profile = Profiler(seed=0).profile(g, four_gpu)
-        deployment = make_deployment(
+        deployment = build_deployment(
             g, four_gpu, dp_strategy("CP-AR", g, four_gpu),
             profile=profile)
         injector = FaultInjector(
@@ -119,11 +119,11 @@ def test_empty_fault_schedule_is_inert(four_gpu):
     from repro.profiling import Profiler
     from repro.resilience import FaultInjector, FaultSchedule
     from repro.runtime import ExecutionEngine
-    from repro.runtime.deployment import make_deployment
+    from repro.runtime.deployment import build_deployment
 
     g = make_mlp(name="det_inert")
     profile = Profiler(seed=0).profile(g, four_gpu)
-    deployment = make_deployment(
+    deployment = build_deployment(
         g, four_gpu, dp_strategy("CP-AR", g, four_gpu), profile=profile)
 
     def run(injector):

@@ -22,7 +22,7 @@ from repro.resilience import (
     ResilientTrainer,
 )
 from repro.runtime import ExecutionEngine
-from repro.runtime.deployment import make_deployment
+from repro.runtime.deployment import build_deployment
 from repro.simulation.metrics import SimulationResult
 
 from tests.helpers import make_mlp
@@ -45,7 +45,7 @@ def mlp():
 def deployment(four_gpu, mlp):
     profile = Profiler(seed=0).profile(mlp, four_gpu)
     strategy = dp_strategy("CP-AR", mlp, four_gpu)
-    return make_deployment(mlp, four_gpu, strategy, profile=profile)
+    return build_deployment(mlp, four_gpu, strategy, profile=profile)
 
 
 def touched_devices(dist: DistGraph):
@@ -265,7 +265,7 @@ class TestCrashRecovery:
         config = AgentConfig(seed=3, **TINY_AGENT)
         profile = Profiler(seed=0).profile(mlp, four_gpu)
         strategy = dp_strategy("CP-AR", mlp, four_gpu)
-        deployment = make_deployment(mlp, four_gpu, strategy,
+        deployment = build_deployment(mlp, four_gpu, strategy,
                                      profile=profile)
         injector = FaultInjector(four_gpu,
                                  FaultSchedule.parse("crash:gpu1@2"))

@@ -13,7 +13,7 @@ from repro.runtime import (
     DistributedRunner,
     ExecutionEngine,
     end_to_end_minutes,
-    make_deployment,
+    build_deployment,
 )
 
 from tests.helpers import make_mlp
@@ -21,7 +21,7 @@ from tests.helpers import make_mlp
 
 class TestExecutionEngine:
     def test_jitter_varies_iterations(self, mlp_graph, four_gpu):
-        dep = make_deployment(mlp_graph, four_gpu,
+        dep = build_deployment(mlp_graph, four_gpu,
                               single_device_strategy(mlp_graph, four_gpu))
         engine = ExecutionEngine(four_gpu, jitter_sigma=0.1, seed=0)
         stats = engine.measure(dep.dist, dep.schedule, dep.resident_bytes,
@@ -30,7 +30,7 @@ class TestExecutionEngine:
         assert stats.std > 0
 
     def test_zero_jitter_is_deterministic(self, mlp_graph, four_gpu):
-        dep = make_deployment(mlp_graph, four_gpu,
+        dep = build_deployment(mlp_graph, four_gpu,
                               single_device_strategy(mlp_graph, four_gpu))
         engine = ExecutionEngine(four_gpu, jitter_sigma=0.0)
         stats = engine.measure(dep.dist, dep.schedule, dep.resident_bytes,
@@ -41,7 +41,7 @@ class TestExecutionEngine:
         """A graph whose parameters exceed one GPU must OOM on MP."""
         g = make_mlp(name="big_mlp", layers=2, width=4096)
         # inflate resident memory beyond the 11GB card by pinning to gpu2
-        dep = make_deployment(g, four_gpu,
+        dep = build_deployment(g, four_gpu,
                               single_device_strategy(g, four_gpu, "gpu2"))
         dep.resident_bytes["gpu2"] = 12 * 1024 ** 3
         engine = ExecutionEngine(four_gpu)
@@ -58,7 +58,7 @@ class TestExecutionEngine:
         st = dp_strategy("EV-AR", mlp_graph, four_gpu)
         sim_time = StrategyEvaluator(mlp_graph, four_gpu,
                                      profile).evaluate(st).time
-        dep = make_deployment(mlp_graph, four_gpu, st, profile=profile)
+        dep = build_deployment(mlp_graph, four_gpu, st, profile=profile)
         engine = ExecutionEngine(four_gpu, seed=3)
         truth = engine.measure(dep.dist, dep.schedule, dep.resident_bytes,
                                iterations=3).mean
@@ -69,7 +69,7 @@ class TestExecutionEngine:
 
 class TestRunner:
     def test_run_collects_iterations(self, mlp_graph, four_gpu):
-        dep = make_deployment(mlp_graph, four_gpu,
+        dep = build_deployment(mlp_graph, four_gpu,
                               single_device_strategy(mlp_graph, four_gpu))
         runner = DistributedRunner(dep)
         report = runner.run(4)
@@ -77,7 +77,7 @@ class TestRunner:
         assert report.total_seconds > 0
 
     def test_throughput_uses_global_batch(self, mlp_graph, four_gpu):
-        dep = make_deployment(mlp_graph, four_gpu,
+        dep = build_deployment(mlp_graph, four_gpu,
                               single_device_strategy(mlp_graph, four_gpu))
         runner = DistributedRunner(dep)
         assert runner.global_batch == 8
@@ -86,7 +86,7 @@ class TestRunner:
             8 / report.mean_iteration_time)
 
     def test_invalid_steps(self, mlp_graph, four_gpu):
-        dep = make_deployment(mlp_graph, four_gpu,
+        dep = build_deployment(mlp_graph, four_gpu,
                               single_device_strategy(mlp_graph, four_gpu))
         with pytest.raises(ReproError):
             DistributedRunner(dep).run(0)
@@ -168,11 +168,15 @@ class TestHeteroGFacade:
         module = repro.HeteroG(four_gpu, TestClientAPI.CFG)
         g = make_mlp(name="facade_mlp")
         strategy = module.plan(g)
-        dep = module.deploy(g, strategy,
-                            profile=module.agent.profile("facade_mlp"))
+        dep = module.deploy(g, strategy)
         runner = module.runner(dep)
         report = runner.run(2)
         assert report.mean_iteration_time > 0
+        # plan then deploy share one warm service context: the explicit-
+        # strategy deploy reuses the search's profiled session
+        assert module.service.stats.executed == 2
+        result = module.plan_result(g, strategy=strategy)
+        assert result.from_cache
 
     def test_analyze_requires_training_graph(self, four_gpu):
         from repro.errors import GraphError

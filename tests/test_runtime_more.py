@@ -6,10 +6,13 @@ from repro.cluster import cluster_4gpu
 from repro.parallel import single_device_strategy
 from repro.parallel.serialize import load_strategy, save_strategy
 from repro.profiling import Profiler
+from repro.errors import ReproError
 from repro.runtime import (
     SAMPLES_TO_TARGET,
     ConvergenceModel,
     DistributedRunner,
+    build_deployment,
+    deployment_from_plan,
     make_deployment,
 )
 
@@ -22,9 +25,9 @@ def four_gpu():
 
 
 class TestDeployment:
-    def test_make_deployment_defaults_profile(self, four_gpu):
+    def test_build_deployment_defaults_profile(self, four_gpu):
         g = make_mlp(name="dep_mlp")
-        dep = make_deployment(g, four_gpu,
+        dep = build_deployment(g, four_gpu,
                               single_device_strategy(g, four_gpu))
         assert dep.profile is not None
         assert dep.num_dist_ops == len(g)
@@ -32,7 +35,7 @@ class TestDeployment:
     def test_deployment_reuses_given_profile(self, four_gpu):
         g = make_mlp(name="dep_mlp2")
         profile = Profiler(seed=0).profile(g, four_gpu)
-        dep = make_deployment(g, four_gpu,
+        dep = build_deployment(g, four_gpu,
                               single_device_strategy(g, four_gpu),
                               profile=profile)
         assert dep.profile is profile
@@ -44,13 +47,55 @@ class TestDeployment:
         path = str(tmp_path / "st.json")
         save_strategy(strategy, path)
         loaded = load_strategy(path, g, four_gpu)
-        d1 = make_deployment(g, four_gpu, strategy)
-        d2 = make_deployment(g, four_gpu, loaded)
+        d1 = build_deployment(g, four_gpu, strategy)
+        d2 = build_deployment(g, four_gpu, loaded)
         assert d1.dist.op_names == d2.dist.op_names
         r1 = DistributedRunner(d1).run(2)
         r2 = DistributedRunner(d2).run(2)
         assert r1.mean_iteration_time == pytest.approx(
             r2.mean_iteration_time, rel=0.2)
+
+
+class TestDeprecatedDeploymentAliases:
+    """The pre-service constructors survive as warning wrappers."""
+
+    def test_make_deployment_warns_and_delegates(self, four_gpu):
+        g = make_mlp(name="dep_warn1")
+        strategy = single_device_strategy(g, four_gpu)
+        with pytest.warns(DeprecationWarning, match="build_deployment"):
+            dep = make_deployment(g, four_gpu, strategy)
+        canonical = build_deployment(g, four_gpu, strategy)
+        assert dep.dist.op_names == canonical.dist.op_names
+        assert dep.resident_bytes == canonical.resident_bytes
+
+    def test_deployment_from_plan_warns_and_delegates(self, four_gpu):
+        from repro.plan import PlanBuilder
+        g = make_mlp(name="dep_warn2")
+        strategy = single_device_strategy(g, four_gpu)
+        plan = PlanBuilder(g, four_gpu).build(strategy)
+        with pytest.warns(DeprecationWarning, match="build_deployment"):
+            dep = deployment_from_plan(plan)
+        assert dep.plan is plan
+        assert dep.dist is plan.dist
+
+    def test_build_deployment_from_plan_shape(self, four_gpu):
+        from repro.plan import PlanBuilder
+        g = make_mlp(name="dep_shape")
+        strategy = single_device_strategy(g, four_gpu)
+        plan = PlanBuilder(g, four_gpu).build(strategy)
+        dep = build_deployment(plan)
+        assert dep.plan is plan and dep.strategy is plan.strategy
+        # the plan shape takes no extra compile arguments
+        with pytest.raises(ReproError):
+            build_deployment(plan, four_gpu, strategy)
+
+    def test_build_deployment_validates_inputs(self, four_gpu):
+        g = make_mlp(name="dep_validate")
+        with pytest.raises(ReproError):
+            build_deployment(g, four_gpu)          # strategy missing
+        with pytest.raises(ReproError):
+            build_deployment("not a graph", four_gpu,
+                             single_device_strategy(g, four_gpu))
 
 
 class TestConvergenceModel:
