@@ -44,6 +44,8 @@ from .api import (
     default_service,
     get_runner,
     parse_device_info,
+    postmortem,
+    service_status,
     submit,
 )
 from .api import plan as plan_request
@@ -52,6 +54,7 @@ from .errors import (
     CompileError,
     DeviceLostError,
     GraphError,
+    JournalSchemaError,
     OutOfMemoryError,
     PlacementError,
     ProfilingError,
@@ -80,7 +83,10 @@ __all__ = [
     "default_service",
     "plan_request",
     "submit",
+    "service_status",
+    "postmortem",
     "ReproError",
+    "JournalSchemaError",
     "ServiceError",
     "ServiceOverloadedError",
     "ServiceTimeoutError",

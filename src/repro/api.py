@@ -149,6 +149,30 @@ def submit(request: PlanRequest) -> PlanTicket:
     return default_service().submit(request)
 
 
+def service_status() -> dict:
+    """One-shot live snapshot of the default service (queue depth,
+    inflight requests with ages, cache hit rates, warm contexts, SLO
+    burn) — what ``repro status`` renders."""
+    return default_service().snapshot()
+
+
+def postmortem(request_id: str) -> str:
+    """Post-hoc timeline for one request (or resilience episode) from
+    the process-wide flight recorder; accepts a unique id prefix.
+
+    Works with telemetry disabled — the recorder is always on and
+    bounded.  Raises :class:`~repro.errors.ReproError` when no (unique)
+    record matches.
+    """
+    from .telemetry.flight import default_recorder, postmortem_report
+    record = default_recorder().get(request_id)
+    if record is None:
+        raise ReproError(
+            f"no (unique) flight record for {request_id!r}; the ring "
+            f"buffer holds {len(default_recorder())} records")
+    return postmortem_report(record)
+
+
 # --------------------------------------------------------------------- #
 def get_runner(
     model_func: Callable[[], ComputationGraph],

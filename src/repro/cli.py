@@ -16,11 +16,17 @@ bench-service  benchmark coalesced concurrent serving against naive
             serial replanning
 experiment  run one paper experiment (table1, table4, table7, fig3a,
             fig3b, fig8, fig9, faults)
+journal     tail / filter a JSONL request journal (--request-id,
+            --phase, --format jsonl|table)
+postmortem  reconstruct one request's full timeline from the journal
+            (no tracing needed beforehand)
+status      render a service status snapshot (queue, caches, SLO burn)
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -70,6 +76,77 @@ def _write_metrics(registry, path: str) -> None:
         registry.save_prometheus(path)
     else:
         registry.save_json(path)
+
+
+def _add_output_args(parser: argparse.ArgumentParser, *,
+                     journal: bool = False) -> None:
+    """The shared telemetry-output options (one definition, not four)."""
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="dump the telemetry metrics registry "
+                        "(.prom/.txt: Prometheus text; else JSON)")
+    if journal:
+        parser.add_argument("--journal-out", metavar="PATH",
+                            help="write the request journal as JSONL "
+                            "(readable by 'repro journal' / "
+                            "'repro postmortem')")
+
+
+def _save_outputs(args: argparse.Namespace, tel) -> None:
+    """Shared ``--metrics-out`` / ``--journal-out`` epilogue."""
+    if getattr(args, "metrics_out", None):
+        _write_metrics(tel.registry, args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if getattr(args, "journal_out", None):
+        from .telemetry.flight import default_recorder
+        default_recorder().journal.save_jsonl(args.journal_out)
+        print(f"journal written to {args.journal_out}", file=sys.stderr)
+
+
+def _render_status(snapshot: dict) -> str:
+    """Human-readable one-shot service status (serve + status share it)."""
+    stats = snapshot.get("stats", {})
+    queue = snapshot.get("queue", {})
+    contexts = snapshot.get("contexts", {})
+    cache = snapshot.get("result_cache", {})
+    lines = [
+        f"service {snapshot.get('service', '?')!r}: "
+        f"{stats.get('submitted', 0)} submitted, "
+        f"{stats.get('executed', 0)} executed, "
+        f"{stats.get('coalesced', 0)} coalesced, "
+        f"{stats.get('result_hits', 0)} cache hits, "
+        f"{stats.get('rejected', 0)} rejected, "
+        f"{stats.get('timeouts', 0)} timeouts",
+        f"  queue        : {queue.get('depth', 0)}/"
+        f"{queue.get('capacity', 0)} queued",
+        f"  contexts     : {contexts.get('warm', 0)}/"
+        f"{contexts.get('capacity', 0)} warm",
+        f"  result cache : {cache.get('hits', 0)} hits / "
+        f"{cache.get('misses', 0)} misses "
+        f"({cache.get('hit_rate', 0.0) * 100:.1f}%), "
+        f"{cache.get('size', 0)}/{cache.get('capacity', 0)} entries",
+    ]
+    inflight = snapshot.get("inflight", [])
+    if inflight:
+        lines.append(f"  inflight ({len(inflight)}):")
+        for entry in inflight:
+            lines.append(
+                f"    {entry.get('request_id', '?'):12s} "
+                f"label={entry.get('label') or '-'} "
+                f"priority={entry.get('priority', 0)} "
+                f"age {entry.get('age_seconds', 0.0):.2f}s")
+    slo = snapshot.get("slo", {})
+    if slo:
+        lines.append("  slo:")
+        for cls, state in sorted(slo.items()):
+            burn = state.get("budget_burn", 0.0)
+            lines.append(
+                f"    {cls:12s} {state.get('requests', 0):4d} requests  "
+                f"compliance {state.get('compliance', 1.0) * 100:5.1f}%  "
+                f"(objective {state.get('objective_seconds')}s, "
+                f"target {(state.get('target') or 0) * 100:.0f}%)  "
+                f"budget burn {burn:.2f}"
+                + ("  [SLO BLOWN]" if burn > 1.0 else ""))
+    return "\n".join(lines)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -179,9 +256,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         if args.spans_out:
             tel.tracer.save_jsonl(args.spans_out)
             print(f"span log written to {args.spans_out}")
-        if args.metrics_out:
-            _write_metrics(tel.registry, args.metrics_out)
-            print(f"metrics written to {args.metrics_out}")
+        _save_outputs(args, tel)
     return 0
 
 
@@ -227,9 +302,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
                                            episodes=replan_episodes)
         report = trainer.run(steps)
         print(report.summary())
-        if args.metrics_out:
-            _write_metrics(tel.registry, args.metrics_out)
-            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        _save_outputs(args, tel)
     return 1 if report.stalled else 0
 
 
@@ -276,9 +349,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"coalesced {stats['coalesced']}, "
               f"cache hits {stats['result_hits']}, "
               f"rejected {stats['rejected']}")
-        if args.metrics_out:
-            _write_metrics(tel.registry, args.metrics_out)
-            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+        print(_render_status(report.snapshot))
+        if args.status_out:
+            import json
+            with open(args.status_out, "w") as fh:
+                json.dump(report.snapshot, fh, indent=2, default=str)
+            print(f"status snapshot written to {args.status_out}",
+                  file=sys.stderr)
+        _save_outputs(args, tel)
     return 0
 
 
@@ -310,14 +388,101 @@ def cmd_bench_service(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_journal(args: argparse.Namespace) -> int:
+    """``repro journal``: tail / filter a JSONL request journal."""
+    import json
+
+    from .telemetry.journal import Journal, filter_events
+
+    events = Journal.load(args.path)
+    events = filter_events(events, request_id=args.request_id,
+                           event=args.event, phase=args.phase)
+    if args.tail is not None:
+        events = events[-args.tail:]
+    if not events:
+        print("(no matching events)", file=sys.stderr)
+        return 0
+    if args.format == "jsonl":
+        for entry in events:
+            print(json.dumps(entry.to_dict()))
+        return 0
+    base = events[0].ts
+    print(f"{'+seconds':>12s}  {'request_id':14s} {'phase':10s} "
+          f"{'event':20s} attrs")
+    for entry in events:
+        attrs = " ".join(f"{k}={entry.attrs[k]}"
+                         for k in sorted(entry.attrs))
+        print(f"{entry.ts - base:12.6f}  {entry.request_id:14s} "
+              f"{entry.phase:10s} {entry.event:20s} {attrs}".rstrip())
+    return 0
+
+
+def cmd_postmortem(args: argparse.Namespace) -> int:
+    """``repro postmortem``: reconstruct one request's timeline.
+
+    Works entirely from the JSONL journal — tracing never needs to have
+    been enabled.  The request id may be a unique prefix.
+    """
+    from .telemetry.flight import FlightRecorder, postmortem_report
+    from .telemetry.journal import Journal
+
+    recorder = FlightRecorder.from_events(Journal.load(args.journal))
+    record = recorder.get(args.request_id)
+    if record is None:
+        known = ", ".join(sorted(r.request_id
+                                 for r in recorder.records())) or "(none)"
+        raise ReproError(
+            f"no (unique) record for {args.request_id!r} in "
+            f"{args.journal}; known ids: {known}")
+    print(postmortem_report(record))
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """``repro status``: render a service status snapshot.
+
+    Reads the JSON snapshot ``repro serve --status-out`` saved; with
+    ``--journal`` it additionally replays SLO accounting from the
+    journal stream (useful when only the JSONL survived).
+    """
+    import json
+
+    shown = False
+    if args.status:
+        with open(args.status) as fh:
+            snapshot = json.load(fh)
+        print(_render_status(snapshot))
+        shown = True
+    if args.journal:
+        from .telemetry.journal import Journal
+        from .telemetry.slo import replay_tracker
+
+        events = Journal.load(args.journal)
+        tracker = replay_tracker(events)
+        print(f"journal {args.journal}: {len(events)} events; "
+              f"slo replay:")
+        slo = tracker.snapshot()
+        if not slo:
+            print("  (no outcome events with an slo_class)")
+        for cls, state in sorted(slo.items()):
+            print(f"  {cls:12s} {state['requests']:4d} requests  "
+                  f"compliance {state['compliance'] * 100:5.1f}%  "
+                  f"budget burn {state['budget_burn']:.2f}")
+        shown = True
+    if not shown:
+        raise ReproError(
+            "nothing to show: pass --status PATH (from 'repro serve "
+            "--status-out') and/or --journal PATH")
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     """``repro experiment``: regenerate one paper table/figure."""
-    if args.metrics_out:
+    if args.metrics_out or args.journal_out:
         from . import telemetry
         with telemetry.session() as tel:
             code = _run_experiment(args)
-            _write_metrics(tel.registry, args.metrics_out)
-            print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+            _save_outputs(args, tel)
         return code
     return _run_experiment(args)
 
@@ -403,9 +568,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--spans-out", metavar="PATH",
                    help="also write the span log as JSONL")
-    p.add_argument("--metrics-out", metavar="PATH",
-                   help="also dump the metrics registry "
-                   "(.prom/.txt: Prometheus text; else JSON)")
+    _add_output_args(p)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("faults",
@@ -434,9 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preset", choices=["tiny", "bench", "paper"],
                    default="bench", help="model scale (default: bench)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--metrics-out", metavar="PATH",
-                   help="dump the telemetry metrics registry "
-                   "(.prom/.txt: Prometheus text; else JSON)")
+    _add_output_args(p, journal=True)
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("serve",
@@ -459,9 +620,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--preset", choices=["tiny", "bench", "paper"],
                    default="bench", help="model scale (default: bench)")
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--metrics-out", metavar="PATH",
-                   help="dump the telemetry metrics registry "
-                   "(.prom/.txt: Prometheus text; else JSON)")
+    p.add_argument("--status-out", metavar="PATH",
+                   help="write the full service status snapshot as JSON "
+                   "(readable by 'repro status')")
+    _add_output_args(p, journal=True)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("bench-service",
@@ -488,10 +650,43 @@ def build_parser() -> argparse.ArgumentParser:
                                     "faults"])
     p.add_argument("--large", action="store_true",
                    help="include the large-model OOM rows (slow)")
-    p.add_argument("--metrics-out", metavar="PATH",
-                   help="dump the telemetry metrics registry "
-                   "(.prom/.txt: Prometheus text; else JSON)")
+    _add_output_args(p, journal=True)
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("journal",
+                       help="tail / filter a JSONL request journal")
+    p.add_argument("path", nargs="?", default="journal.jsonl",
+                   help="journal file (default: journal.jsonl)")
+    p.add_argument("--request-id", metavar="ID",
+                   help="only events for this request id (or prefix)")
+    p.add_argument("--event", metavar="TYPE",
+                   help="only this event type (e.g. completed)")
+    p.add_argument("--phase",
+                   choices=["admission", "context", "search", "build",
+                            "outcome", "resilience"],
+                   help="only events in this lifecycle phase")
+    p.add_argument("--tail", type=int, metavar="N",
+                   help="only the last N matching events")
+    p.add_argument("--format", choices=["table", "jsonl"],
+                   default="table", help="output format (default: table)")
+    p.set_defaults(func=cmd_journal)
+
+    p = sub.add_parser("postmortem",
+                       help="reconstruct one request's timeline from "
+                       "the journal")
+    p.add_argument("request_id",
+                   help="request or episode id (unique prefix ok)")
+    p.add_argument("--journal", metavar="PATH", default="journal.jsonl",
+                   help="journal file (default: journal.jsonl)")
+    p.set_defaults(func=cmd_postmortem)
+
+    p = sub.add_parser("status",
+                       help="render a service status snapshot")
+    p.add_argument("--status", metavar="PATH",
+                   help="JSON snapshot from 'repro serve --status-out'")
+    p.add_argument("--journal", metavar="PATH",
+                   help="JSONL journal to replay SLO accounting from")
+    p.set_defaults(func=cmd_status)
     return parser
 
 
@@ -504,6 +699,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. `repro journal ... | head`);
+        # suppress the noise and exit with the conventional SIGPIPE code
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -2,7 +2,15 @@
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this package."""
+    """Base class for all errors raised by this package.
+
+    ``request_id`` carries the correlation id of the plan request (or
+    resilience episode) the error was produced on behalf of, when one
+    was in scope — the planning service stamps it before handing the
+    error back, so a caller can go straight to ``repro postmortem``.
+    """
+
+    request_id = None  # set by the service when raised for a request
 
 
 class GraphError(ReproError):
@@ -106,3 +114,13 @@ class ServiceClosedError(ServiceError):
 
 class StrategyError(ReproError):
     """Raised for invalid strategy encodings or action vectors."""
+
+
+class JournalSchemaError(ReproError):
+    """Raised when a journal event fails schema validation.
+
+    Emission and reading both validate against the versioned schema
+    (``repro.telemetry.journal.SCHEMA_VERSION``): an unknown event type
+    or a missing required field raises this, so a malformed journal
+    fails loudly instead of silently degrading observability.
+    """

@@ -13,8 +13,10 @@ from __future__ import annotations
 
 from typing import Dict, Mapping, Optional
 
+from .. import telemetry
 from ..cluster.topology import Cluster
 from ..errors import CompileError, SimulationError
+from ..telemetry.context import record_event
 from ..graph.dag import ComputationGraph
 from ..parallel.compiler import GraphCompiler
 from ..parallel.distgraph import DistGraph
@@ -100,20 +102,22 @@ class PlanBuilder:
         cached = self._plans.get(fp)
         if cached is not None:
             return cached
-        dist, resident = self.compile(strategy)
-        # one array lowering serves ranking, both candidate-order
-        # simulations, and every later simulation of the cached plan
-        kernel = lower(dist)
-        schedule = self._scheduler.schedule(
-            dist, self.cost, kernel=kernel,
-            resident_bytes=resident, capacities=self.capacities,
-        )
-        plan = ExecutionPlan(
-            graph=self.graph, cluster=self.cluster, strategy=strategy,
-            dist=dist, schedule=schedule, resident_bytes=resident,
-            capacities=self.capacities, profile=self.profile,
-            fingerprint=fp, kernel=kernel, sim_result=schedule.sim_result,
-        )
+        with telemetry.span("plan.build", graph=self.graph.name):
+            dist, resident = self.compile(strategy)
+            # one array lowering serves ranking, both candidate-order
+            # simulations, and every later simulation of the cached plan
+            kernel = lower(dist)
+            schedule = self._scheduler.schedule(
+                dist, self.cost, kernel=kernel,
+                resident_bytes=resident, capacities=self.capacities,
+            )
+            plan = ExecutionPlan(
+                graph=self.graph, cluster=self.cluster, strategy=strategy,
+                dist=dist, schedule=schedule, resident_bytes=resident,
+                capacities=self.capacities, profile=self.profile,
+                fingerprint=fp, kernel=kernel,
+                sim_result=schedule.sim_result,
+            )
         self._plans.put(fp, plan)
         return plan
 
@@ -152,10 +156,14 @@ class PlanBuilder:
         if not trace:
             cached = self._outcomes.get(fp)
             if cached is not None:
+                record_event("candidate_evaluated", feasible=cached.feasible,
+                             time=cached.time, cached=True)
                 return cached
         outcome = self._evaluate_fresh(strategy, fp, trace=trace)
         if not trace:
             self._outcomes.put(fp, outcome)
+        record_event("candidate_evaluated", feasible=outcome.feasible,
+                     time=outcome.time, cached=False)
         return outcome
 
     def _evaluate_fresh(self, strategy: Strategy, fp: str, *,

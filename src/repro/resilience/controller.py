@@ -36,6 +36,9 @@ from ..errors import DeviceLostError, OutOfMemoryError, ReproError
 from ..runtime.deployment import Deployment
 from ..runtime.execution_engine import ExecutionEngine
 from ..runtime.trainer_loop import DetectionEvent, FailureDetector
+from ..telemetry.context import request_scope
+from ..telemetry.flight import FlightRecorder, default_recorder
+from ..telemetry.journal import new_request_id
 from .faults import FaultEvent, FaultInjector
 from .replan import Replanner
 
@@ -137,7 +140,8 @@ class ResilientTrainer:
                  detector: Optional[FailureDetector] = None,
                  policy: str = "replan",
                  restart_overhead: float = 0.0,
-                 max_recoveries: int = 8):
+                 max_recoveries: int = 8,
+                 recorder: Optional[FlightRecorder] = None):
         if policy not in POLICIES:
             raise ReproError(
                 f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -154,6 +158,9 @@ class ResilientTrainer:
         self.policy = policy
         self.restart_overhead = restart_overhead
         self.max_recoveries = max_recoveries
+        self.recorder = recorder if recorder is not None \
+            else default_recorder()
+        self.episode_id = ""         # assigned per run()
         self._healthy_mean: Optional[float] = None
 
     # ---------------------------------------------------------------- #
@@ -161,14 +168,34 @@ class ResilientTrainer:
         if steps <= 0:
             raise ReproError(f"steps must be positive, got {steps}")
         report = ResilienceReport(steps=steps, policy=self.policy)
-        with telemetry.span("resilience.run", steps=steps,
-                            policy=self.policy):
-            for i in range(steps):
-                report.faults.extend(self.injector.advance(i))
-                if not self._step(i, report):
-                    report.stalled = True
-                    break
-                report.completed_steps += 1
+        # each run is one correlated resilience episode: the detector's
+        # fault_detected events, every replan's service request (linked
+        # through parent_id) and the resume all land in one flight record
+        self.episode_id = new_request_id("ep")
+        self.recorder.begin(self.episode_id, label="resilience",
+                            graph=self.deployment.graph.name)
+        self.recorder.emit(self.episode_id, "episode_started",
+                           policy=self.policy, steps=steps,
+                           graph=self.deployment.graph.name)
+        with request_scope(self.episode_id, self.recorder):
+            with telemetry.span("resilience.run", steps=steps,
+                                policy=self.policy):
+                for i in range(steps):
+                    report.faults.extend(self.injector.advance(i))
+                    if not self._step(i, report):
+                        report.stalled = True
+                        break
+                    report.completed_steps += 1
+        if report.stalled:
+            self.recorder.emit(self.episode_id, "failed",
+                               error="stalled",
+                               completed_steps=report.completed_steps)
+            self.recorder.finish(self.episode_id, "failed")
+        else:
+            self.recorder.emit(self.episode_id, "completed",
+                               seconds=report.total_seconds,
+                               completed_steps=report.completed_steps)
+            self.recorder.finish(self.episode_id, "completed")
         self._export(report)
         return report
 
@@ -236,8 +263,15 @@ class ResilientTrainer:
     # replan policy
         detection_lag = self._healthy_mean or 0.0
         degraded = self.injector.degraded_cluster()
+        self.recorder.emit(self.episode_id, "replan_started",
+                           devices=degraded.num_devices, cause=cause,
+                           iteration=i)
         with telemetry.span("resilience.recover", iteration=i, cause=cause):
             recovery = self.replanner.replan(degraded)
+        self.recorder.emit(self.episode_id, "replan_completed",
+                           seconds=recovery.search_seconds,
+                           feasible=recovery.feasible,
+                           request_id_of_replan=recovery.request_id)
         self.deployment = recovery.deployment
         self.detector.reset()
         lost = detection_lag if event.is_hard else 0.0
@@ -250,6 +284,8 @@ class ResilientTrainer:
             plan_cache_hits=recovery.plan_cache_hits,
             devices_after=recovery.cluster.num_devices,
         ))
+        self.recorder.emit(self.episode_id, "resumed", iteration=i,
+                           devices=recovery.cluster.num_devices)
         return True
 
     # ---------------------------------------------------------------- #

@@ -45,6 +45,7 @@ class RecoveryPlan:
     outcome_cache_hits: int
     reused_session: bool         # True when the degraded state was seen
     episodes: int
+    request_id: str = ""         # correlation id of the serving request
 
     @property
     def feasible(self) -> bool:
@@ -117,4 +118,5 @@ class Replanner:
             outcome_cache_hits=result.outcome_cache_hits,
             reused_session=result.reused_context or result.from_cache,
             episodes=result.episodes,
+            request_id=result.request_id,
         )

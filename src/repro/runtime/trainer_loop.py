@@ -29,6 +29,7 @@ from typing import Dict, List, Set
 from .. import telemetry
 from ..errors import DeviceLostError, OutOfMemoryError, ReproError
 from ..simulation.metrics import SimulationResult
+from ..telemetry.context import record_event
 
 # samples to converge to target top-5 accuracy, per model family
 SAMPLES_TO_TARGET: Dict[str, float] = {
@@ -220,6 +221,9 @@ class FailureDetector:
 
     @staticmethod
     def _count(event: DetectionEvent) -> None:
+        record_event("fault_detected", kind=event.kind,
+                     resource=event.resource, iteration=event.iteration,
+                     severity=event.severity)
         tel = telemetry.active()
         if tel is not None:
             tel.registry.counter(

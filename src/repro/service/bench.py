@@ -42,6 +42,7 @@ class WorkloadReport:
     outcomes: List[WorkloadOutcome] = field(default_factory=list)
     wall_seconds: float = 0.0
     stats: Dict[str, int] = field(default_factory=dict)
+    snapshot: Dict = field(default_factory=dict)  # full service.snapshot()
 
     @property
     def completed(self) -> int:
@@ -87,6 +88,7 @@ def run_workload(service: PlanningService,
     report.wall_seconds = time.perf_counter() - start
     report.outcomes = [o for o in outcomes if o is not None]
     report.stats = service.stats.snapshot()
+    report.snapshot = service.snapshot()
     return report
 
 

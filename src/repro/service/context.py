@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from .. import telemetry
+from ..telemetry.context import record_event
 from ..agent.agent import HeteroGAgent
 from ..errors import OutOfMemoryError, StrategyError
 from ..parallel.strategy import Strategy
@@ -127,6 +128,8 @@ class PlanContext:
         outcome: Optional[EvalOutcome] = None
         strategy: Optional[Strategy] = None
         ran = 0
+        record_event("search_started", episodes=budget,
+                     max_rounds=request.max_rounds)
         with telemetry.span("pipeline.search", graph=self.graph.name,
                             episodes=budget):
             for _ in range(request.max_rounds):
@@ -149,6 +152,8 @@ class PlanContext:
             # plan-cache hit: the winning strategy was built during its
             # evaluation above
             deployment = build_deployment(builder.build(strategy))
+        record_event("plan_built", dist_ops=deployment.num_dist_ops,
+                     makespan=outcome.time, episodes=ran)
         return Served(
             strategy=strategy, outcome=outcome, deployment=deployment,
             profile=self.profile, episodes=ran,
@@ -165,6 +170,8 @@ class PlanContext:
             with telemetry.span("pipeline.schedule", graph=self.graph.name):
                 deployment = build_deployment(
                     builder.build(request.strategy))
+            record_event("plan_built", dist_ops=deployment.num_dist_ops,
+                         makespan=outcome.time)
         measured_time: Optional[float] = None
         measured_oom = False
         if request.measure_iterations and deployment is not None:

@@ -83,9 +83,19 @@ class PlanRequest:
     use_order_scheduling: bool = True
     config: Optional[HeteroGConfig] = None
     label: str = ""                  # client tag (not fingerprinted)
+    request_id: str = ""             # correlation id (auto-assigned)
+    parent_id: str = ""              # enclosing request/episode scope
 
     def __post_init__(self) -> None:
         from ..api import parse_device_info  # lazy: api imports service
+        from ..telemetry.context import current_request
+        from ..telemetry.journal import new_request_id
+        # correlation ids are observability-only: they never enter the
+        # fingerprint, so coalescing and result caching stay sound
+        if not self.request_id:
+            object.__setattr__(self, "request_id", new_request_id("req"))
+        if not self.parent_id:
+            object.__setattr__(self, "parent_id", current_request() or "")
         if not isinstance(self.graph, ComputationGraph):
             raise ReproError(
                 f"PlanRequest.graph must be a ComputationGraph, "
@@ -201,6 +211,7 @@ class PlanResult:
     service_seconds: float = 0.0
     measured_time: Optional[float] = None  # engine-measured s/iteration
     measured_oom: bool = False
+    request_id: str = ""             # correlation id of the serving request
     extras: dict = field(default_factory=dict)
 
     @property

@@ -48,6 +48,10 @@ from ..errors import (
     ServiceTimeoutError,
 )
 from ..plan import PlanCache
+from ..telemetry.context import request_scope
+from ..telemetry.critical_path import critical_path
+from ..telemetry.flight import FlightRecorder, default_recorder
+from ..telemetry.slo import SLOTracker, priority_class
 from .context import PlanContext
 from .request import PlanRequest, PlanResult
 
@@ -107,10 +111,12 @@ class ServiceStats:
     executed: int = 0        # requests actually evaluated
     coalesced: int = 0       # folded onto an in-flight duplicate
     result_hits: int = 0     # served from the completed-result cache
+    result_misses: int = 0   # submissions that missed the result cache
     rejected: int = 0        # refused by admission control
     timeouts: int = 0        # queue-expired or caller stopped waiting
     completed: int = 0
     failed: int = 0
+    contexts_warm: int = 0   # current warm PlanContext LRU occupancy
 
     def snapshot(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -123,7 +129,9 @@ class PlanningService:
                  max_queue: int = DEFAULT_MAX_QUEUE,
                  max_contexts: int = DEFAULT_MAX_CONTEXTS,
                  result_cache_size: int = DEFAULT_RESULT_CACHE,
-                 name: str = "planning"):
+                 name: str = "planning",
+                 recorder: Optional[FlightRecorder] = None,
+                 slo: Optional[SLOTracker] = None):
         if workers < 0:
             raise ReproError(f"workers must be >= 0, got {workers}")
         if max_queue < 1:
@@ -135,6 +143,9 @@ class PlanningService:
         self.max_contexts = max_contexts
         self.name = name
         self.stats = ServiceStats()
+        self.recorder = recorder if recorder is not None \
+            else default_recorder()
+        self.slo = slo if slo is not None else SLOTracker()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._queue: List[Tuple[int, int, str]] = []  # (-priority, seq, fp)
@@ -157,6 +168,39 @@ class PlanningService:
         with self._lock:
             return len(self._queue)
 
+    def snapshot(self) -> Dict[str, object]:
+        """One-shot live status: stats, queue, inflight, caches, SLOs.
+
+        This is what ``repro status`` renders and what ``repro serve
+        --status-out`` saves; everything in it is always-on accounting
+        (no telemetry session required).
+        """
+        now = time.perf_counter()
+        with self._lock:
+            inflight = [{
+                "request_id": t.request.request_id,
+                "label": t.request.label,
+                "priority": t.request.priority,
+                "age_seconds": now - t.submitted_at,
+            } for t in self._tickets.values()]
+            depth = len(self._queue)
+            warm = len(self._contexts)
+        return {
+            "service": self.name,
+            "stats": self.stats.snapshot(),
+            "queue": {"depth": depth, "capacity": self.max_queue},
+            "inflight": inflight,
+            "contexts": {"warm": warm, "capacity": self.max_contexts},
+            "result_cache": {
+                "hits": self._results.hits,
+                "misses": self._results.misses,
+                "hit_rate": self._results.hit_rate,
+                "size": len(self._results),
+                "capacity": self._results.maxsize,
+            },
+            "slo": self.slo.snapshot(),
+        }
+
     # ------------------------------------------------------------------ #
     def submit(self, request: PlanRequest) -> PlanTicket:
         """Admit one request; returns immediately with a ticket.
@@ -169,33 +213,59 @@ class PlanningService:
                 f"submit() takes a PlanRequest, got "
                 f"{type(request).__name__}")
         fp = request.fingerprint
+        rid = request.request_id
+        submitted = time.perf_counter()
         inline: Optional[PlanTicket] = None
         with self._lock:
             if self._closed:
                 raise ServiceClosedError(
                     f"planning service {self.name!r} is closed")
             self.stats.submitted += 1
+            self.recorder.begin(
+                rid, label=request.label, graph=request.graph.name,
+                fingerprint=fp, parent_id=request.parent_id,
+                priority=request.priority)
+            self.recorder.emit(
+                rid, "request_accepted", graph=request.graph.name,
+                label=request.label, priority=request.priority,
+                queue_depth=len(self._queue),
+                parent_id=request.parent_id, fingerprint=fp[:12])
             cached = self._results.get(fp)
             if cached is not None:
                 self.stats.result_hits += 1
                 ticket = PlanTicket(request, fp)
-                ticket._resolve(dataclasses.replace(cached, from_cache=True))
+                ticket._resolve(dataclasses.replace(
+                    cached, from_cache=True, request_id=rid))
+                seconds = time.perf_counter() - submitted
+                self.recorder.emit(rid, "cache_hit")
+                self.recorder.emit(
+                    rid, "completed", seconds=seconds,
+                    slo_class=priority_class(request.priority),
+                    from_cache=True)
+                self.recorder.finish(rid, "completed", queue_seconds=0.0,
+                                     service_seconds=seconds)
+                self.slo.observe(priority_class(request.priority), seconds)
                 return ticket
+            self.stats.result_misses += 1
             existing = self._tickets.get(fp)
             if existing is not None:
                 existing.waiters += 1
                 self.stats.coalesced += 1
                 self._count("service_coalesced_total")
+                self.recorder.emit(rid, "coalesced",
+                                   primary=existing.request.request_id)
+                self.recorder.finish(rid, "coalesced")
                 return existing
             if self.workers == 0:
+                if len(self._tickets) >= self.max_queue:
+                    # inline mode has no queue, but the same admission
+                    # bound applies to concurrent inline submissions
+                    self._reject(request, len(self._tickets))
                 inline = PlanTicket(request, fp)
                 self._tickets[fp] = inline
             else:
                 if len(self._queue) >= self.max_queue:
-                    self.stats.rejected += 1
-                    self._count("service_rejected_total")
-                    raise ServiceOverloadedError(len(self._queue),
-                                                 self.max_queue)
+                    self._reject(request, len(self._queue))
                 self._seq += 1
                 ticket = PlanTicket(request, fp, seq=self._seq)
                 self._tickets[fp] = ticket
@@ -209,6 +279,18 @@ class PlanningService:
         self._run_ticket(inline)
         return inline
 
+    def _reject(self, request: PlanRequest, depth: int) -> None:
+        """Caller holds the lock: account + journal one rejection."""
+        self.stats.rejected += 1
+        self._count("service_rejected_total")
+        rid = request.request_id
+        self.recorder.emit(rid, "rejected", queue_depth=depth,
+                           limit=self.max_queue)
+        self.recorder.finish(rid, "rejected")
+        error = ServiceOverloadedError(depth, self.max_queue)
+        error.request_id = rid
+        raise error
+
     def plan(self, request: PlanRequest) -> PlanResult:
         """Submit and wait: the blocking convenience entrypoint."""
         ticket = self.submit(request)
@@ -219,6 +301,13 @@ class PlanningService:
                 with self._lock:
                     self.stats.timeouts += 1
                 self._count("service_timeouts_total", {"stage": "wait"})
+                rid = request.request_id
+                exc.request_id = rid
+                self.recorder.emit(
+                    rid, "timeout", stage="wait",
+                    seconds=time.perf_counter() - ticket.submitted_at,
+                    slo_class=priority_class(request.priority))
+                self.recorder.finish(rid, "timeout")
             raise
 
     def close(self) -> None:
@@ -249,6 +338,7 @@ class PlanningService:
         key = request.context_key
         with self._lock:
             ctx = self._contexts.get(key)
+            warm = ctx is not None
             if ctx is None:
                 ctx = PlanContext(request)
                 self._contexts[key] = ctx
@@ -256,7 +346,12 @@ class PlanningService:
                     self._contexts.popitem(last=False)
             else:
                 self._contexts.move_to_end(key)
-            return ctx
+            self.stats.contexts_warm = len(self._contexts)
+        self.recorder.emit(
+            request.request_id,
+            "context_warm" if warm else "context_cold",
+            context=key[:12])
+        return ctx
 
     # ------------------------------------------------------------------ #
     def _ensure_workers(self) -> None:
@@ -284,27 +379,33 @@ class PlanningService:
     def _run_ticket(self, ticket: PlanTicket) -> None:
         queue_seconds = time.perf_counter() - ticket.submitted_at
         self._observe("service_wait_seconds", queue_seconds)
-        if ticket.deadline is not None \
-                and time.perf_counter() > ticket.deadline:
-            # deadline missed while queued: fail fast, never evaluate
-            with self._lock:
-                self.stats.timeouts += 1
-            self._count("service_timeouts_total", {"stage": "queue"})
-            self._finish(ticket, error=ServiceTimeoutError(
-                ticket.request.timeout or 0.0, stage="queue",
-                fingerprint=ticket.fingerprint))
-            return
-        try:
-            result = self._serve(ticket.request, queue_seconds)
-        except ReproError as exc:
-            self._finish(ticket, error=exc)
-            return
-        except (ValueError, KeyError, TypeError) as exc:
-            # stray errors from graph/cluster plumbing become structured
-            self._finish(ticket, error=ServiceError(
-                f"planning failed for {ticket.request.graph.name!r}: {exc}"))
-            return
-        self._finish(ticket, result=result)
+        with request_scope(ticket.request.request_id, self.recorder):
+            if ticket.deadline is not None \
+                    and time.perf_counter() > ticket.deadline:
+                # deadline missed while queued: fail fast, never evaluate
+                with self._lock:
+                    self.stats.timeouts += 1
+                self._count("service_timeouts_total", {"stage": "queue"})
+                self._finish(ticket, error=ServiceTimeoutError(
+                    ticket.request.timeout or 0.0, stage="queue",
+                    fingerprint=ticket.fingerprint),
+                    queue_seconds=queue_seconds)
+                return
+            try:
+                result = self._serve(ticket.request, queue_seconds)
+            except ReproError as exc:
+                self._finish(ticket, error=exc,
+                             queue_seconds=queue_seconds)
+                return
+            except (ValueError, KeyError, TypeError) as exc:
+                # stray errors from graph/cluster plumbing get structured
+                self._finish(ticket, error=ServiceError(
+                    f"planning failed for "
+                    f"{ticket.request.graph.name!r}: {exc}"),
+                    queue_seconds=queue_seconds)
+                return
+            self._finish(ticket, result=result,
+                         queue_seconds=queue_seconds)
 
     def _serve(self, request: PlanRequest,
                queue_seconds: float) -> PlanResult:
@@ -332,11 +433,13 @@ class PlanningService:
             service_seconds=time.perf_counter() - start,
             measured_time=served.measured_time,
             measured_oom=served.measured_oom,
+            request_id=request.request_id,
         )
 
     def _finish(self, ticket: PlanTicket,
                 result: Optional[PlanResult] = None,
-                error: Optional[BaseException] = None) -> None:
+                error: Optional[BaseException] = None,
+                queue_seconds: Optional[float] = None) -> None:
         with self._lock:
             self._tickets.pop(ticket.fingerprint, None)
             if result is not None:
@@ -350,9 +453,51 @@ class PlanningService:
                 self.stats.failed += 1
                 status = "failed"
         self._count("service_requests_total", {"status": status})
-        self._observe("service_latency_seconds",
-                      time.perf_counter() - ticket.submitted_at)
+        seconds = time.perf_counter() - ticket.submitted_at
+        self._observe("service_latency_seconds", seconds)
+        rid = ticket.request.request_id
+        slo_class = priority_class(ticket.request.priority)
+        if result is not None:
+            self.recorder.emit(
+                rid, "completed", seconds=seconds, slo_class=slo_class,
+                queue_seconds=result.queue_seconds,
+                service_seconds=result.service_seconds,
+                coalesced=result.coalesced)
+            self.recorder.finish(
+                rid, "completed", queue_seconds=result.queue_seconds,
+                service_seconds=result.service_seconds,
+                blame=self._blame(result))
+            self.slo.observe(slo_class, seconds, ok=True)
+        else:
+            if getattr(error, "request_id", None) is None:
+                error.request_id = rid
+            if isinstance(error, ServiceTimeoutError):
+                self.recorder.emit(rid, "timeout", stage=error.stage,
+                                   seconds=seconds, slo_class=slo_class)
+                self.recorder.finish(rid, "timeout",
+                                     queue_seconds=queue_seconds)
+            else:
+                self.recorder.emit(
+                    rid, "failed", error=type(error).__name__,
+                    message=str(error)[:200], seconds=seconds,
+                    slo_class=slo_class)
+                self.recorder.finish(rid, "failed",
+                                     queue_seconds=queue_seconds)
+            self.slo.observe(slo_class, seconds, ok=False)
         ticket._resolve(result, error)
+
+    @staticmethod
+    def _blame(result: PlanResult) -> Optional[Dict[str, float]]:
+        """Critical-path blame fractions when a sim trace exists."""
+        outcome = result.outcome
+        if result.deployment is None or outcome.result is None \
+                or not getattr(outcome.result, "schedule", None):
+            return None
+        try:
+            report = critical_path(result.deployment.dist, outcome.result)
+        except (ValueError, KeyError):
+            return None
+        return report.blame_fractions()
 
     # ------------------------------------------------------------------ #
     def _count(self, metric: str,

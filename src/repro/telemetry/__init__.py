@@ -27,8 +27,14 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
+from .context import (
+    current_recorder,
+    current_request,
+    record_event,
+    request_scope,
+)
 from .critical_path import (
     IDLE_KEY,
     CriticalPathReport,
@@ -36,12 +42,35 @@ from .critical_path import (
     blame_resource,
     critical_path,
 )
+from .flight import (
+    FlightRecord,
+    FlightRecorder,
+    default_recorder,
+    postmortem_report,
+)
+from .journal import (
+    EVENT_SCHEMAS,
+    PHASE_OF,
+    SCHEMA_VERSION,
+    Journal,
+    JournalEvent,
+    filter_events,
+    new_request_id,
+    validate_event,
+)
 from .registry import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from .slo import (
+    DEFAULT_TARGETS,
+    SLOTarget,
+    SLOTracker,
+    priority_class,
+    replay_tracker,
 )
 from .tracer import _NULL_SPAN, Span, Tracer
 
@@ -64,6 +93,28 @@ __all__ = [
     "disable",
     "session",
     "span",
+    # request-scoped observability
+    "current_request",
+    "current_recorder",
+    "record_event",
+    "request_scope",
+    "Journal",
+    "JournalEvent",
+    "SCHEMA_VERSION",
+    "EVENT_SCHEMAS",
+    "PHASE_OF",
+    "filter_events",
+    "new_request_id",
+    "validate_event",
+    "FlightRecord",
+    "FlightRecorder",
+    "default_recorder",
+    "postmortem_report",
+    "SLOTarget",
+    "SLOTracker",
+    "DEFAULT_TARGETS",
+    "priority_class",
+    "replay_tracker",
 ]
 
 
@@ -79,6 +130,7 @@ class Telemetry:
 
 
 _ACTIVE: Optional[Telemetry] = None
+_SESSIONS: List[Telemetry] = []  # nesting stack; _ACTIVE mirrors its top
 
 
 def active() -> Optional[Telemetry]:
@@ -88,19 +140,28 @@ def active() -> Optional[Telemetry]:
 
 def enable(registry: Optional[MetricsRegistry] = None,
            tracer: Optional[Tracer] = None) -> Telemetry:
-    """Open (or replace) the ambient telemetry session."""
+    """Open a new ambient telemetry session (stacking over any current
+    one).  Sessions compose: a matching :func:`disable` restores the
+    enclosing session instead of turning telemetry off outright, so
+    per-request recording can coexist with a user-enabled global
+    session."""
     global _ACTIVE
-    _ACTIVE = Telemetry(
+    tel = Telemetry(
         registry=registry if registry is not None else MetricsRegistry(),
         tracer=tracer if tracer is not None else Tracer(),
     )
-    return _ACTIVE
+    _SESSIONS.append(tel)
+    _ACTIVE = tel
+    return tel
 
 
 def disable() -> None:
-    """Close the ambient session (instrumentation becomes a no-op)."""
+    """Close the innermost session, restoring the enclosing one (a
+    no-op when no session is open)."""
     global _ACTIVE
-    _ACTIVE = None
+    if _SESSIONS:
+        _SESSIONS.pop()
+    _ACTIVE = _SESSIONS[-1] if _SESSIONS else None
 
 
 def span(name: str, **attrs):
@@ -114,11 +175,17 @@ def span(name: str, **attrs):
 @contextlib.contextmanager
 def session(registry: Optional[MetricsRegistry] = None,
             tracer: Optional[Tracer] = None) -> Iterator[Telemetry]:
-    """Scoped telemetry: enable on entry, restore the prior state on exit."""
+    """Scoped telemetry: enable on entry, restore the prior state on exit.
+
+    Exit unwinds to the state *before* this session was opened — any
+    sessions pushed inside the block (via :func:`enable` without a
+    matching :func:`disable`) are unwound with it.
+    """
     global _ACTIVE
-    previous = _ACTIVE
+    depth = len(_SESSIONS)
     tel = enable(registry, tracer)
     try:
         yield tel
     finally:
-        _ACTIVE = previous
+        del _SESSIONS[depth:]
+        _ACTIVE = _SESSIONS[-1] if _SESSIONS else None

@@ -1,0 +1,168 @@
+"""Per-priority-class latency SLOs with error-budget accounting.
+
+Requests are bucketed into three priority classes (:func:`priority_class`
+maps the service's integer priorities), each with a latency objective
+and a compliance target.  The tracker counts, per class, how many
+requests finished within the objective; the *error budget* is the
+fraction of requests the target allows to miss, and the *burn* is how
+much of that budget has been consumed — burn > 1.0 means the SLO is
+blown.  ``repro status`` renders the snapshot.
+
+The same accounting can be recovered from the service's existing
+latency histograms (:meth:`SLOTracker.compliance_from_histogram` walks
+the cumulative buckets), which is how a status snapshot derived from a
+metrics dump agrees with the live tracker.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
+
+from ..errors import ReproError
+
+#: priority >= CRITICAL_PRIORITY is "critical"; >= 1 "interactive".
+CRITICAL_PRIORITY = 10
+
+#: default latency objectives (seconds) and compliance targets per class.
+DEFAULT_TARGETS: Dict[str, "SLOTarget"] = {}
+
+
+def priority_class(priority: int) -> str:
+    """Map a request priority to its SLO class."""
+    if priority >= CRITICAL_PRIORITY:
+        return "critical"
+    if priority >= 1:
+        return "interactive"
+    return "batch"
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """One class's objective: latency bound + required compliance."""
+
+    objective_seconds: float
+    target: float = 0.95          # required fraction within objective
+
+    def __post_init__(self) -> None:
+        if self.objective_seconds <= 0:
+            raise ReproError(
+                f"SLO objective must be positive, "
+                f"got {self.objective_seconds}")
+        if not 0.0 < self.target <= 1.0:
+            raise ReproError(
+                f"SLO target must be in (0, 1], got {self.target}")
+
+
+DEFAULT_TARGETS.update({
+    "critical": SLOTarget(objective_seconds=10.0, target=0.99),
+    "interactive": SLOTarget(objective_seconds=30.0, target=0.95),
+    "batch": SLOTarget(objective_seconds=120.0, target=0.90),
+})
+
+
+@dataclass
+class _ClassState:
+    requests: int = 0
+    good: int = 0                 # finished ok within the objective
+    breaches: int = 0             # failed, timed out, or too slow
+    latency_sum: float = 0.0
+    worst: float = 0.0
+
+
+class SLOTracker:
+    """Error-budget accounting over per-request latency observations."""
+
+    def __init__(self,
+                 targets: Optional[Mapping[str, SLOTarget]] = None):
+        self.targets: Dict[str, SLOTarget] = dict(
+            targets if targets is not None else DEFAULT_TARGETS)
+        self._lock = threading.Lock()
+        self._classes: Dict[str, _ClassState] = {}
+
+    # ------------------------------------------------------------------ #
+    def observe(self, slo_class: str, latency_seconds: float,
+                ok: bool = True) -> None:
+        """Account one finished request (``ok=False`` always breaches)."""
+        target = self.targets.get(slo_class)
+        within = (ok and target is not None
+                  and latency_seconds <= target.objective_seconds)
+        with self._lock:
+            state = self._classes.setdefault(slo_class, _ClassState())
+            state.requests += 1
+            state.latency_sum += latency_seconds
+            if latency_seconds > state.worst:
+                state.worst = latency_seconds
+            if within:
+                state.good += 1
+            else:
+                state.breaches += 1
+
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Per-class SLO state: compliance, budget, and burn."""
+        out: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            classes = {cls: _ClassState(**vars(state))
+                       for cls, state in self._classes.items()}
+        for cls, state in sorted(classes.items()):
+            target = self.targets.get(cls)
+            allowed = ((1.0 - target.target) * state.requests
+                       if target is not None else 0.0)
+            burn = (state.breaches / allowed if allowed > 0
+                    else (math.inf if state.breaches else 0.0))
+            out[cls] = {
+                "requests": state.requests,
+                "good": state.good,
+                "breaches": state.breaches,
+                "compliance": (state.good / state.requests
+                               if state.requests else 1.0),
+                "objective_seconds": (target.objective_seconds
+                                      if target is not None else None),
+                "target": target.target if target is not None else None,
+                "error_budget": allowed,
+                "budget_burn": burn,
+                "mean_latency": (state.latency_sum / state.requests
+                                 if state.requests else 0.0),
+                "worst_latency": state.worst,
+            }
+        return out
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def compliance_from_histogram(histogram,
+                                  objective_seconds: float) -> float:
+        """Fraction of a latency histogram's observations within the
+        objective, estimated from its cumulative buckets (the existing
+        ``service_latency_seconds`` / ``service_wait_seconds`` series).
+        """
+        total = histogram.total
+        if total == 0:
+            return 1.0
+        within = 0
+        for bound, cumulative in histogram.cumulative():
+            if bound <= objective_seconds:
+                within = cumulative
+            else:
+                break
+        return within / total
+
+
+def replay_tracker(events,
+                   targets: Optional[Mapping[str, SLOTarget]] = None,
+                   ) -> SLOTracker:
+    """Rebuild an :class:`SLOTracker` from journal outcome events —
+    what ``repro status --journal`` uses in a fresh process."""
+    tracker = SLOTracker(targets)
+    for entry in events:
+        if entry.event not in ("completed", "failed", "timeout"):
+            continue
+        attrs = entry.attrs
+        cls = attrs.get("slo_class")
+        if cls is None:
+            continue
+        latency = float(attrs.get("seconds", 0.0))
+        tracker.observe(cls, latency, ok=entry.event == "completed")
+    return tracker

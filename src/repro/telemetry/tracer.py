@@ -21,6 +21,8 @@ import threading
 import time
 from typing import Any, Dict, List, Optional
 
+from .context import current_request
+
 
 class Span:
     """One timed region.  Use as a context manager via ``Tracer.span``."""
@@ -131,8 +133,16 @@ class Tracer:
             return _NULL_SPAN
         stack = self._stack()
         parent_id = stack[-1].span_id if stack else None
+        # correlation: every span opened while a request scope is active
+        # carries that request's id (service requests, replans, resilience
+        # episodes) so one request's spans filter out of a mixed trace
+        request_id = current_request()
+        if request_id is not None and "request_id" not in attrs:
+            attrs = dict(attrs, request_id=request_id)
+        else:
+            attrs = dict(attrs)
         return Span(self, name, next(self._ids), parent_id,
-                    threading.get_ident(), dict(attrs))
+                    threading.get_ident(), attrs)
 
     def current(self) -> Optional[Span]:
         """The innermost open span on this thread, if any."""

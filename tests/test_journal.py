@@ -1,0 +1,517 @@
+"""Request-scoped observability: journal schema, flight recorder,
+SLO accounting, correlation ids, and telemetry session re-entrancy."""
+
+import json
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.agent import AgentConfig
+from repro.cluster import cluster_4gpu
+from repro.config import HeteroGConfig
+from repro.errors import (
+    JournalSchemaError,
+    ServiceOverloadedError,
+    ServiceTimeoutError,
+)
+from repro.service import PlanRequest, PlanningService
+from repro.telemetry import (
+    SCHEMA_VERSION,
+    FlightRecorder,
+    Journal,
+    JournalEvent,
+    SLOTarget,
+    SLOTracker,
+    filter_events,
+    new_request_id,
+    postmortem_report,
+    priority_class,
+    replay_tracker,
+    request_scope,
+    validate_event,
+)
+
+from tests.helpers import make_mlp
+
+FAST = AgentConfig(max_groups=8, gat_hidden=16, gat_layers=2, gat_heads=2,
+                   strategy_dim=16, strategy_heads=2, strategy_layers=1)
+
+
+def fast_config(seed: int = 0) -> HeteroGConfig:
+    return HeteroGConfig(episodes=2, seed=seed, agent=FAST)
+
+
+@pytest.fixture(scope="module")
+def four_gpu():
+    return cluster_4gpu()
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    return make_mlp(name="jrnl_mlp")
+
+
+def search_request(graph, cluster, *, episodes=2, seed=0, **kw) -> PlanRequest:
+    return PlanRequest(graph=graph, cluster=cluster, episodes=episodes,
+                       config=fast_config(seed), **kw)
+
+
+# --------------------------------------------------------------------- #
+class TestJournalSchema:
+    def test_emit_validates_and_stamps_base_fields(self):
+        journal = Journal()
+        entry = journal.emit("cache_hit", "req-x")
+        data = entry.to_dict()
+        assert data["schema_version"] == SCHEMA_VERSION
+        assert data["event"] == "cache_hit"
+        assert data["request_id"] == "req-x"
+        assert isinstance(data["ts"], float)
+
+    def test_unknown_event_type_rejected(self):
+        journal = Journal()
+        with pytest.raises(JournalSchemaError, match="unknown journal event"):
+            journal.emit("made_up_event", "req-x")
+
+    def test_missing_required_field_rejected(self):
+        journal = Journal()
+        with pytest.raises(JournalSchemaError, match="missing required"):
+            journal.emit("rejected", "req-x", queue_depth=3)  # no 'limit'
+
+    def test_reader_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        good = {"schema_version": SCHEMA_VERSION, "event": "cache_hit",
+                "request_id": "req-1", "ts": 1.0}
+        for bad in (
+                {**good, "schema_version": 99},       # future version
+                {**good, "event": "nonsense"},        # unknown type
+                {k: v for k, v in good.items() if k != "ts"},  # no base
+        ):
+            path.write_text(json.dumps(bad) + "\n")
+            with pytest.raises(JournalSchemaError):
+                Journal.load(str(path))
+        path.write_text(json.dumps(good) + "\n")
+        assert len(Journal.load(str(path))) == 1
+
+    def test_save_load_round_trip_is_bit_identical(self, tmp_path):
+        journal = Journal()
+        journal.emit("request_accepted", "req-1", graph="g", label="l",
+                     priority=2, queue_depth=0)
+        journal.emit("timeout", "req-1", stage="queue", seconds=0.5)
+        journal.emit("fault_detected", "ep-1", kind="device_lost",
+                     resource="gpu1")
+        path = tmp_path / "j.jsonl"
+        journal.save_jsonl(str(path))
+        first = path.read_text()
+        reloaded = Journal.load(str(path))
+        again = "".join(json.dumps(e.to_dict()) + "\n" for e in reloaded)
+        assert again == first
+
+    def test_filters(self):
+        journal = Journal()
+        journal.emit("request_accepted", "req-000001", graph="g", label="",
+                     priority=0, queue_depth=0)
+        journal.emit("completed", "req-000001", seconds=0.1)
+        journal.emit("completed", "req-000002", seconds=0.2)
+        assert len(journal.events(request_id="req-000001")) == 2
+        assert len(journal.events(event="completed")) == 2
+        assert len(journal.events(phase="admission")) == 1
+        assert len(journal.events(tail=1)) == 1
+        # prefix match
+        assert len(filter_events(journal.events(), request_id="req-0000")) \
+            == 3
+
+    def test_capacity_bounds_memory(self):
+        journal = Journal(capacity=4)
+        for i in range(10):
+            journal.emit("cache_hit", f"req-{i}")
+        assert len(journal) == 4
+        assert journal.emitted == 10
+        assert journal.events()[0].request_id == "req-6"
+
+    def test_validate_event_accepts_extra_attrs(self):
+        validate_event({"schema_version": SCHEMA_VERSION,
+                        "event": "cache_hit", "request_id": "r",
+                        "ts": 0.0, "anything": "extra"})
+
+    def test_streaming_sink(self, tmp_path):
+        path = tmp_path / "stream.jsonl"
+        journal = Journal(path=str(path))
+        journal.emit("cache_hit", "req-1")
+        journal.emit("cache_hit", "req-2")
+        journal.close()
+        assert len(Journal.load(str(path))) == 2
+
+
+# --------------------------------------------------------------------- #
+class TestRequestIds:
+    def test_auto_assigned_and_unique(self, mlp, four_gpu):
+        a = search_request(mlp, four_gpu)
+        b = search_request(mlp, four_gpu)
+        assert a.request_id and b.request_id
+        assert a.request_id != b.request_id
+        # correlation ids never split fingerprints (caching stays sound)
+        assert a.fingerprint == b.fingerprint
+
+    def test_parent_captured_from_ambient_scope(self, mlp, four_gpu):
+        with request_scope("ep-000042"):
+            child = search_request(mlp, four_gpu)
+        orphan = search_request(mlp, four_gpu)
+        assert child.parent_id == "ep-000042"
+        assert orphan.parent_id == ""
+
+    def test_explicit_ids_respected(self, mlp, four_gpu):
+        req = search_request(mlp, four_gpu)
+        explicit = PlanRequest(graph=mlp, cluster=four_gpu, episodes=2,
+                               config=fast_config(),
+                               request_id="req-custom", parent_id="ep-9")
+        assert explicit.request_id == "req-custom"
+        assert explicit.parent_id == "ep-9"
+        assert req.request_id != "req-custom"
+
+
+# --------------------------------------------------------------------- #
+class TestFlightRecorder:
+    def test_ring_evicts_oldest_finished_first(self):
+        rec = FlightRecorder(capacity=2)
+        rec.begin("req-a")
+        rec.finish("req-a", "completed")
+        rec.begin("req-b")          # inflight
+        rec.begin("req-c")          # over capacity: evict finished req-a
+        assert rec.get("req-a") is None
+        assert rec.get("req-b") is not None
+        assert rec.get("req-c") is not None
+
+    def test_per_record_event_cap_counts_drops(self):
+        rec = FlightRecorder(max_events=3)
+        rec.begin("req-a")
+        for _ in range(5):
+            rec.emit("req-a", "cache_hit")
+        record = rec.get("req-a")
+        assert len(record.events) == 3
+        assert record.dropped_events == 2
+
+    def test_first_terminal_status_wins(self):
+        rec = FlightRecorder()
+        rec.begin("req-a")
+        rec.finish("req-a", "timeout")
+        rec.finish("req-a", "completed")  # late completion after timeout
+        assert rec.get("req-a").status == "timeout"
+
+    def test_get_by_unique_prefix(self):
+        rec = FlightRecorder()
+        rec.begin("req-000123")
+        rec.begin("req-000456")
+        assert rec.get("req-0001").request_id == "req-000123"
+        assert rec.get("req-000") is None  # ambiguous
+
+    def test_new_request_id_prefixes(self):
+        assert new_request_id("ep").startswith("ep-")
+        assert new_request_id() != new_request_id()
+
+
+# --------------------------------------------------------------------- #
+class GatedInline(PlanningService):
+    """workers=0 service whose ``_serve`` blocks until released, so a
+    concurrent inline submission deterministically hits admission
+    control."""
+
+    def __init__(self, **kwargs):
+        super().__init__(workers=0, **kwargs)
+        self.gate = threading.Event()
+        self.entered = threading.Event()
+
+    def _serve(self, request, queue_seconds):
+        self.entered.set()
+        assert self.gate.wait(30), "test never released the gate"
+        return super()._serve(request, queue_seconds)
+
+
+class TestServiceObservability:
+    def test_completed_request_timeline_without_tracing(self, mlp,
+                                                        four_gpu):
+        """Acceptance: the flight recorder reconstructs a request's full
+        timeline with the telemetry session never enabled."""
+        assert telemetry.active() is None
+        rec = FlightRecorder()
+        with PlanningService(workers=0, recorder=rec) as service:
+            result = service.plan(search_request(mlp, four_gpu))
+        assert telemetry.active() is None
+        record = rec.get(result.request_id)
+        assert record is not None and record.status == "completed"
+        names = [e.event for e in record.events]
+        assert names[0] == "request_accepted"
+        assert "context_cold" in names
+        assert "search_started" in names
+        assert "candidate_evaluated" in names
+        assert "plan_built" in names
+        assert names[-1] == "completed"
+        assert all(e.request_id == result.request_id
+                   for e in record.events)
+        assert all(e.schema_version == SCHEMA_VERSION
+                   for e in record.events)
+        report = postmortem_report(record)
+        assert result.request_id in report
+        assert "queue wait" in report and "timeline:" in report
+
+    def test_cache_hit_and_coalesced_dispositions(self, mlp, four_gpu):
+        rec = FlightRecorder()
+        with PlanningService(workers=0, recorder=rec) as service:
+            first = service.plan(search_request(mlp, four_gpu, seed=1))
+            second = service.plan(search_request(mlp, four_gpu, seed=1))
+        hit = rec.get(second.request_id)
+        assert hit.status == "completed"
+        assert [e.event for e in hit.events] == \
+            ["request_accepted", "cache_hit", "completed"]
+        assert "result cache" in hit.disposition()
+        assert second.from_cache and second.request_id != first.request_id
+
+    def test_forced_timeout_leaves_complete_record(self, mlp, four_gpu,
+                                                   tmp_path):
+        """Satellite: a forced ServiceTimeoutError under workers=0
+        leaves a full flight timeline that round-trips bit-identically
+        through the JSONL schema reader."""
+        rec = FlightRecorder()
+        request = search_request(mlp, four_gpu, seed=2, timeout=1e-9)
+        with PlanningService(workers=0, recorder=rec) as service:
+            with pytest.raises(ServiceTimeoutError) as excinfo:
+                service.plan(request)
+        assert excinfo.value.stage == "queue"
+        assert excinfo.value.request_id == request.request_id
+        record = rec.get(request.request_id)
+        assert record.status == "timeout"
+        names = [e.event for e in record.events]
+        assert names[0] == "request_accepted" and "timeout" in names
+        timeout_event = next(e for e in record.events
+                             if e.event == "timeout")
+        assert timeout_event.attrs["stage"] == "queue"
+        # bit-identical JSONL round trip, then rebuild the same record
+        path = tmp_path / "timeout.jsonl"
+        rec.journal.save_jsonl(str(path))
+        first = path.read_text()
+        loaded = Journal.load(str(path))
+        again = "".join(json.dumps(e.to_dict()) + "\n" for e in loaded)
+        assert again == first
+        rebuilt = FlightRecorder.from_events(loaded).get(request.request_id)
+        assert rebuilt.status == "timeout"
+        assert [e.event for e in rebuilt.events] == names
+
+    def test_forced_overload_leaves_complete_record(self, mlp, four_gpu,
+                                                    tmp_path):
+        """Satellite: a forced ServiceOverloadedError (inline admission
+        control) leaves a rejected record that round-trips through the
+        JSONL reader bit-identically."""
+        rec = FlightRecorder()
+        service = GatedInline(max_queue=1, recorder=rec)
+        blocked = search_request(mlp, four_gpu, seed=3)
+        rejected = search_request(mlp, four_gpu, seed=4)
+        worker = threading.Thread(target=lambda: service.plan(blocked),
+                                  daemon=True)
+        worker.start()
+        assert service.entered.wait(30)
+        with pytest.raises(ServiceOverloadedError) as excinfo:
+            service.submit(rejected)
+        service.gate.set()
+        worker.join(timeout=30)
+        service.close()
+        assert excinfo.value.request_id == rejected.request_id
+        record = rec.get(rejected.request_id)
+        assert record.status == "rejected"
+        assert [e.event for e in record.events] == \
+            ["request_accepted", "rejected"]
+        assert record.events[-1].attrs["limit"] == 1
+        path = tmp_path / "overload.jsonl"
+        rec.journal.save_jsonl(str(path))
+        first = path.read_text()
+        loaded = Journal.load(str(path))
+        again = "".join(json.dumps(e.to_dict()) + "\n" for e in loaded)
+        assert again == first
+        rebuilt = FlightRecorder.from_events(loaded).get(
+            rejected.request_id)
+        assert rebuilt.status == "rejected"
+
+    def test_snapshot_exposes_caches_contexts_and_slo(self, mlp, four_gpu):
+        rec = FlightRecorder()
+        with PlanningService(workers=0, recorder=rec) as service:
+            service.plan(search_request(mlp, four_gpu, seed=5))
+            service.plan(search_request(mlp, four_gpu, seed=5))  # hit
+            snapshot = service.snapshot()
+        stats = snapshot["stats"]
+        assert stats["result_hits"] == 1 and stats["result_misses"] == 1
+        assert stats["contexts_warm"] == 1
+        assert snapshot["contexts"] == {"warm": 1, "capacity": 16}
+        cache = snapshot["result_cache"]
+        assert cache["hits"] == 1 and cache["size"] == 1
+        assert snapshot["queue"]["capacity"] == 64
+        assert snapshot["inflight"] == []
+        slo = snapshot["slo"]["batch"]
+        assert slo["requests"] == 2 and slo["breaches"] == 0
+
+    def test_spans_carry_request_id_when_traced(self, mlp, four_gpu):
+        rec = FlightRecorder()
+        with telemetry.session() as tel:
+            with PlanningService(workers=0, recorder=rec) as service:
+                result = service.plan(search_request(mlp, four_gpu, seed=6))
+        tagged = [s for s in tel.tracer.to_events()
+                  if s["attrs"].get("request_id") == result.request_id]
+        names = {s["name"] for s in tagged}
+        assert "pipeline.search" in names
+        assert "plan.build" in names
+
+
+# --------------------------------------------------------------------- #
+class TestSLO:
+    def test_priority_classes(self):
+        assert priority_class(0) == "batch"
+        assert priority_class(1) == "interactive"
+        assert priority_class(9) == "interactive"
+        assert priority_class(10) == "critical"
+
+    def test_error_budget_accounting(self):
+        tracker = SLOTracker({"batch": SLOTarget(objective_seconds=1.0,
+                                                 target=0.9)})
+        for _ in range(8):
+            tracker.observe("batch", 0.5)
+        tracker.observe("batch", 5.0)           # too slow
+        tracker.observe("batch", 0.1, ok=False)  # failed
+        state = tracker.snapshot()["batch"]
+        assert state["requests"] == 10
+        assert state["good"] == 8 and state["breaches"] == 2
+        assert state["compliance"] == pytest.approx(0.8)
+        assert state["error_budget"] == pytest.approx(1.0)
+        assert state["budget_burn"] == pytest.approx(2.0)  # SLO blown
+        assert state["worst_latency"] == 5.0
+
+    def test_rejects_bad_targets(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            SLOTarget(objective_seconds=-1.0)
+        with pytest.raises(ReproError):
+            SLOTarget(objective_seconds=1.0, target=1.5)
+
+    def test_compliance_from_histogram(self):
+        registry = telemetry.MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(v)
+        within = SLOTracker.compliance_from_histogram(hist, 1.0)
+        assert within == pytest.approx(0.5)
+
+    def test_replay_from_journal_events(self):
+        events = [
+            JournalEvent("completed", "r1", 1.0,
+                         {"seconds": 0.5, "slo_class": "batch"}),
+            JournalEvent("timeout", "r2", 2.0,
+                         {"stage": "queue", "seconds": 9.0,
+                          "slo_class": "batch"}),
+            JournalEvent("cache_hit", "r3", 3.0, {}),  # ignored
+        ]
+        state = replay_tracker(events).snapshot()["batch"]
+        assert state["requests"] == 2
+        assert state["good"] == 1 and state["breaches"] == 1
+
+
+# --------------------------------------------------------------------- #
+class TestResilienceEpisodeTrace:
+    def test_fault_detect_replan_resume_is_one_linked_trace(self, mlp,
+                                                            four_gpu):
+        """Tentpole acceptance: a fault -> detect -> replan -> resume
+        episode is one correlated trace — the episode record holds the
+        detection and replan events, and the replan's service request is
+        linked back through parent_id."""
+        from repro.baselines import dp_strategy
+        from repro.profiling import Profiler
+        from repro.resilience import (
+            FaultInjector,
+            FaultSchedule,
+            Replanner,
+            ResilientTrainer,
+        )
+        from repro.runtime import ExecutionEngine
+        from repro.runtime.deployment import build_deployment
+
+        rec = FlightRecorder()
+        config = AgentConfig(seed=3, max_groups=8, gat_hidden=16,
+                             gat_layers=2, gat_heads=2, strategy_dim=16,
+                             strategy_heads=2, strategy_layers=1)
+        profile = Profiler(seed=0).profile(mlp, four_gpu)
+        deployment = build_deployment(
+            mlp, four_gpu, dp_strategy("CP-AR", mlp, four_gpu),
+            profile=profile)
+        injector = FaultInjector(four_gpu,
+                                 FaultSchedule.parse("crash:gpu1@2"))
+        engine = ExecutionEngine(four_gpu, seed=9, fault_injector=injector)
+        replanner = Replanner(
+            mlp, four_gpu, agent_config=config, episodes=2, seed=3,
+            service=PlanningService(workers=0, name="replanner",
+                                    recorder=rec))
+        trainer = ResilientTrainer(deployment, injector, engine=engine,
+                                   replanner=replanner, recorder=rec)
+        report = trainer.run(6)
+        assert not report.stalled
+
+        episode = rec.get(trainer.episode_id)
+        assert episode is not None and episode.status == "completed"
+        names = [e.event for e in episode.events]
+        assert names[0] == "episode_started"
+        for expected in ("fault_detected", "replan_started",
+                         "replan_completed", "resumed"):
+            assert expected in names
+        fault = next(e for e in episode.events
+                     if e.event == "fault_detected")
+        assert fault.attrs["kind"] == "device_lost"
+        assert fault.attrs["resource"] == "gpu1"
+
+        # the replan's own service request links back to the episode
+        replans = [r for r in rec.records()
+                   if r.parent_id == trainer.episode_id]
+        assert len(replans) >= 1
+        assert all(r.label == "replan" for r in replans)
+        replan_done = next(e for e in episode.events
+                           if e.event == "replan_completed")
+        assert replan_done.attrs["request_id_of_replan"] \
+            in {r.request_id for r in replans}
+        # postmortem of the episode reads end-to-end
+        text = postmortem_report(episode)
+        assert "fault_detected" in text and "resumed" in text
+
+
+# --------------------------------------------------------------------- #
+class TestSessionReentrancy:
+    """Satellite: nested/re-entrant telemetry sessions compose."""
+
+    def test_disable_restores_prior_session(self):
+        outer = telemetry.enable()
+        inner = telemetry.enable()
+        assert telemetry.active() is inner
+        telemetry.disable()
+        assert telemetry.active() is outer
+        telemetry.disable()
+        assert telemetry.active() is None
+
+    def test_disable_without_session_is_noop(self):
+        assert telemetry.active() is None
+        telemetry.disable()
+        assert telemetry.active() is None
+
+    def test_nested_session_restores_outer(self):
+        with telemetry.session() as outer:
+            with telemetry.session() as inner:
+                assert telemetry.active() is inner
+                with telemetry.span("inner.work"):
+                    pass
+            assert telemetry.active() is outer
+            with telemetry.span("outer.work"):
+                pass
+        assert telemetry.active() is None
+        assert [s["name"] for s in inner.tracer.to_events()] \
+            == ["inner.work"]
+        assert [s["name"] for s in outer.tracer.to_events()] \
+            == ["outer.work"]
+
+    def test_session_unwinds_stray_enables(self):
+        with telemetry.session() as tel:
+            telemetry.enable()   # opened inside, never disabled
+            telemetry.enable()
+            assert telemetry.active() is not tel
+        assert telemetry.active() is None
