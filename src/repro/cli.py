@@ -306,6 +306,39 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 1 if report.stalled else 0
 
 
+def _backend_options(args: argparse.Namespace) -> Optional[dict]:
+    """Collect the fleet knobs into ``PlanningService(backend_options=)``."""
+    if getattr(args, "backend", "auto") != "fleet":
+        return None
+    options = {}
+    if getattr(args, "heartbeat_interval", None) is not None:
+        options["heartbeat_interval"] = args.heartbeat_interval
+    if getattr(args, "heartbeat_timeout", None) is not None:
+        options["heartbeat_timeout"] = args.heartbeat_timeout
+    if getattr(args, "redispatch_limit", None) is not None:
+        options["redispatch_limit"] = args.redispatch_limit
+    return options or None
+
+
+def _add_backend_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--backend",
+                   choices=["auto", "inline", "thread", "fleet"],
+                   default="auto",
+                   help="execution backend: auto (workers=0 -> inline, "
+                   "else thread), or fleet for persistent worker "
+                   "processes with heartbeats and re-dispatch")
+    p.add_argument("--heartbeat-interval", type=float, default=None,
+                   metavar="S", help="fleet worker heartbeat period")
+    p.add_argument("--heartbeat-timeout", type=float, default=None,
+                   metavar="S",
+                   help="silence after which a fleet worker is declared "
+                   "lost and its request re-dispatched")
+    p.add_argument("--redispatch-limit", type=int, default=None,
+                   metavar="N",
+                   help="workers one request may lose before it fails "
+                   "with WorkerLostError (default: 2)")
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """``repro serve``: drive the planning service with a demo workload.
 
@@ -338,7 +371,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
           file=sys.stderr)
     with telemetry.session() as tel:
         with PlanningService(workers=args.workers,
-                             max_queue=args.max_queue) as service:
+                             max_queue=args.max_queue,
+                             backend=args.backend,
+                             backend_options=_backend_options(args)
+                             ) as service:
             report = run_workload(service, requests)
         for outcome in report.outcomes:
             print(f"  {outcome.label:12s} {outcome.status:10s} "
@@ -373,7 +409,8 @@ def cmd_bench_service(args: argparse.Namespace) -> int:
     numbers = bench_coalescing(
         graph, cluster, duplicates=args.duplicates,
         episodes=args.episodes, workers=args.workers,
-        config=HeteroGConfig(seed=args.seed))
+        config=HeteroGConfig(seed=args.seed),
+        backend=args.backend, backend_options=_backend_options(args))
     for key, value in numbers.items():
         print(f"  {key:26s} {value}")
     if numbers["divergent_results"]:
@@ -617,6 +654,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline in seconds")
     p.add_argument("--max-queue", type=int, default=64,
                    help="admission-control queue bound (default: 64)")
+    _add_backend_args(p)
     p.add_argument("--preset", choices=["tiny", "bench", "paper"],
                    default="bench", help="model scale (default: bench)")
     p.add_argument("--seed", type=int, default=0)
@@ -637,6 +675,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="service worker threads (default: 2)")
     p.add_argument("--episodes", type=int, default=4,
                    help="search episodes per request (default: 4)")
+    _add_backend_args(p)
     p.add_argument("--preset", choices=["tiny", "bench", "paper"],
                    default="tiny", help="model scale (default: tiny)")
     p.add_argument("--seed", type=int, default=0)
@@ -663,7 +702,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="only this event type (e.g. completed)")
     p.add_argument("--phase",
                    choices=["admission", "context", "search", "build",
-                            "outcome", "resilience"],
+                            "outcome", "fleet", "resilience"],
                    help="only events in this lifecycle phase")
     p.add_argument("--tail", type=int, metavar="N",
                    help="only the last N matching events")

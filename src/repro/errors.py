@@ -112,6 +112,33 @@ class ServiceClosedError(ServiceError):
     """Raised when submitting to (or waiting on) a closed service."""
 
 
+class FleetProtocolError(ServiceError):
+    """Raised when a fleet wire message fails to encode or decode.
+
+    The manager/worker channel only carries versioned typed messages
+    (``repro.service.messages``); any frame that is not one — wrong
+    version, unknown type tag, missing fields — poisons the channel
+    and surfaces as this error instead of a silent mis-dispatch.
+    """
+
+
+class WorkerLostError(ServiceError):
+    """Raised when a request exhausts its re-dispatch budget.
+
+    The fleet backend re-dispatches an in-flight request when its
+    worker dies or stops heartbeating; after ``redispatch_limit``
+    attempts the request is failed with this error so a poisonous
+    request cannot take the whole fleet down worker by worker.
+    ``attempts`` counts dispatches tried, ``workers`` the ids that
+    served (and lost) it.
+    """
+
+    def __init__(self, message, attempts=0, workers=()):
+        self.attempts = attempts
+        self.workers = list(workers)
+        super().__init__(message)
+
+
 class StrategyError(ReproError):
     """Raised for invalid strategy encodings or action vectors."""
 

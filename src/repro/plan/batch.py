@@ -19,6 +19,13 @@ serial path:
 Workers are primed once with the evaluation context(s) — graph, cluster,
 profile, scheduler flags — via the pool initializer; per-task payloads
 are only the portable dict form of each strategy.
+
+When a planning-service **fleet** backend is live in this process
+(``repro.service.backends.active_fleet()``), the evaluator borrows the
+fleet's persistent workers for its fan-out instead of opening a second
+private pool — same priming contract (contexts keyed by their content
+digest), same ordering guarantee, with graceful fallback to the private
+pool or serial path if the fleet refuses (closing, lost workers, ...).
 """
 
 from __future__ import annotations
@@ -116,6 +123,9 @@ class BatchEvaluator:
                          ) -> List[EvalOutcome]:
         if self.max_workers == 1 or len(todo) == 1:
             return self._evaluate_serial(todo)
+        borrowed = self._evaluate_on_fleet(todo)
+        if borrowed is not None:
+            return borrowed
         try:
             pool = self._ensure_pool()
             futures = [
@@ -128,6 +138,37 @@ class BatchEvaluator:
             # restricted environments (no /dev/shm, fork disabled, ...)
             self.close()
             return self._evaluate_serial(todo)
+
+    def _evaluate_on_fleet(self, todo: Sequence[Tuple[str, Strategy, str]]
+                           ) -> Optional[List[EvalOutcome]]:
+        """Borrow a live planning-fleet's workers, if one is running.
+
+        Returns ``None`` (fall through to the private pool) when no
+        fleet is active or the fleet refuses the batch — the caller's
+        ordering/caching semantics never depend on the borrow working.
+        """
+        # lazy import: repro.service imports the plan layer, so the
+        # module-level direction must stay plan <- service only
+        from ..errors import ReproError
+        from ..service.backends import active_fleet
+
+        fleet = active_fleet()
+        if fleet is None:
+            return None
+        used = {context for context, _, _ in todo}
+        digests = {name: b.context_fingerprint
+                   for name, b in self._builders.items() if name in used}
+        payloads = {
+            name: (b.graph, b.cluster, b.profile,
+                   b.use_order_scheduling, b.group_of)
+            for name, b in self._builders.items() if name in used
+        }
+        items = [(context, strategy_to_dict(strategy))
+                 for context, strategy, _ in todo]
+        try:
+            return fleet.evaluate_batch(payloads, digests, items)
+        except ReproError:
+            return None
 
     def _evaluate_serial(self, todo: Sequence[Tuple[str, Strategy, str]]
                          ) -> List[EvalOutcome]:

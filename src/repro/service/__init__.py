@@ -17,21 +17,38 @@ divergent call paths:
 - a bounded priority queue applies **admission control**: overload
   rejects fast with :class:`~repro.errors.ServiceOverloadedError`,
   expired deadlines fail fast with
-  :class:`~repro.errors.ServiceTimeoutError`.
+  :class:`~repro.errors.ServiceTimeoutError`;
+- *where* admitted requests execute is an
+  :class:`~repro.service.backends.ExecutionBackend` —
+  ``inline`` (caller's thread), ``thread`` (in-process pool) or
+  ``fleet`` (persistent worker processes with heartbeats and
+  re-dispatch, :mod:`repro.service.backends.fleet`).
 
-See ``docs/ARCHITECTURE.md`` ("Planning service") for the request
-lifecycle and the determinism guarantees.
+See ``docs/ARCHITECTURE.md`` ("Planning service" and "Execution
+backends") for the request lifecycle and determinism guarantees.
 """
 
+from .backends import (
+    ExecutionBackend,
+    InlineBackend,
+    ProcessFleetBackend,
+    ThreadBackend,
+    make_backend,
+)
 from .context import PlanContext
 from .request import PlanRequest, PlanResult
 from .service import PlanningService, PlanTicket, ServiceStats
 
 __all__ = [
+    "ExecutionBackend",
+    "InlineBackend",
     "PlanContext",
     "PlanRequest",
     "PlanResult",
     "PlanningService",
     "PlanTicket",
+    "ProcessFleetBackend",
     "ServiceStats",
+    "ThreadBackend",
+    "make_backend",
 ]

@@ -1,0 +1,882 @@
+"""Out-of-process planning fleet: persistent workers + manager loop.
+
+:class:`ProcessFleetBackend` runs the planning service's evaluations in
+a fleet of persistent worker *processes*.  Each worker keeps warm
+:class:`~repro.service.context.PlanContext` sessions (profile + agent +
+plan caches) across requests, so repeated traffic for the same (graph,
+cluster, config) pays the pipeline cost once per worker, not once per
+request — and no request ever shares the caller's GIL.
+
+The architecture mirrors optuna-distributed's manager/worker split:
+
+- **wire protocol** — every frame on the ``multiprocessing`` queues is
+  a versioned typed message (:mod:`repro.service.messages`);
+- **per-worker channels** — each worker owns a private inbox *and* a
+  private outbox queue.  A shared result queue would let a SIGKILLed
+  worker die holding the queue's cross-process writer lock, silently
+  blocking every surviving worker's heartbeats (the failure mode that
+  makes ``concurrent.futures`` declare a whole pool broken).  With one
+  writer process per queue an abrupt death can only corrupt its own
+  channel; a manager-side daemon reader thread per worker forwards
+  frames into one in-process mailbox the event loop drains, so even a
+  half-written frame wedges only that worker's reader, never the
+  manager or the survivors;
+- **manager event loop** — one daemon thread pops admitted tickets from
+  the service's priority queue (only when a worker is idle, so
+  admission control keeps its meaning), dispatches them, polls worker
+  results, and watches health;
+- **failure detection** — workers heartbeat from a side thread; a dead
+  process or a silent worker (``heartbeat_timeout``) is declared lost
+  (``worker_lost`` journal event), its in-flight request re-dispatched
+  to a surviving worker (``request_redispatched``), and a replacement
+  spawned.  Results are accepted **only from the worker currently
+  assigned** to a job — a slow-but-alive worker that was falsely
+  declared lost has its late result discarded
+  (``worker_result_discarded``), never double-resolved, so coalesced
+  waiters see exactly one result;
+- **re-dispatch budget** — a request that loses ``redispatch_limit``
+  workers is failed with :class:`~repro.errors.WorkerLostError`
+  instead of grinding the fleet down worker by worker;
+- **shared fleet** — while a fleet is live, the in-process
+  :class:`~repro.plan.BatchEvaluator` borrows it for candidate fan-out
+  (:meth:`ProcessFleetBackend.evaluate_batch`) instead of opening a
+  second private process pool.
+
+``stall_labels`` is the deterministic fault-injection hook the failure
+tests use: requests whose label starts with a key sleep that many
+seconds on the worker *after* announcing they started serving, which
+gives tests a guaranteed mid-request window to kill the worker in.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+import os
+import queue as queue_mod
+import threading
+import time
+import warnings
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ... import telemetry
+from ...errors import (
+    FleetProtocolError,
+    ReproError,
+    ServiceClosedError,
+    WorkerLostError,
+)
+from ..messages import (
+    CompletedMessage,
+    EvalCompletedMessage,
+    EvalRequestMessage,
+    FailedMessage,
+    HeartbeatMessage,
+    Message,
+    PlanRequestMessage,
+    ProgressMessage,
+    ShutdownMessage,
+    WorkerReadyMessage,
+    message_from_wire,
+    rebuild_error,
+)
+from .base import ExecutionBackend
+
+DEFAULT_HEARTBEAT_INTERVAL = 0.25
+DEFAULT_HEARTBEAT_TIMEOUT = 3.0
+DEFAULT_REDISPATCH_LIMIT = 2
+DEFAULT_DRAIN_TIMEOUT = 30.0
+_TICK = 0.02                      # manager poll granularity (seconds)
+_READER_STOP = "__fleet-reader-stop__"   # sentinel frame for reader threads
+
+
+# --------------------------------------------------------------------- #
+# worker process side
+def _worker_serve(contexts: "OrderedDict[str, Any]", request,
+                  max_contexts: int):
+    """Serve one plan request on this worker's warm context LRU.
+
+    The same context -> handle -> PlanResult chain as
+    ``PlanningService._serve``, minus the manager-side accounting
+    (stats, journal, SLO) which stays with the service.
+    """
+    from ..context import PlanContext
+    from ..request import PlanResult
+
+    key = request.context_key
+    ctx = contexts.get(key)
+    if ctx is None:
+        ctx = PlanContext(request)
+        contexts[key] = ctx
+        while len(contexts) > max_contexts:
+            contexts.popitem(last=False)
+    else:
+        contexts.move_to_end(key)
+    start = time.perf_counter()
+    with ctx.lock:
+        reused = ctx.served > 0
+        served = ctx.handle(request)
+    return PlanResult(
+        fingerprint=request.fingerprint,
+        strategy=served.strategy,
+        outcome=served.outcome,
+        deployment=served.deployment,
+        profile=served.profile,
+        episodes=served.episodes,
+        reused_context=reused,
+        plan_cache_hits=served.plan_cache_hits,
+        outcome_cache_hits=served.outcome_cache_hits,
+        service_seconds=time.perf_counter() - start,
+        measured_time=served.measured_time,
+        measured_oom=served.measured_oom,
+        request_id=request.request_id,
+    )
+
+
+def _worker_evaluate(builders: Dict[str, Any], msg: EvalRequestMessage):
+    """Evaluate one borrowed-BatchEvaluator chunk on primed builders."""
+    from ...parallel.serialize import strategy_from_dict
+    from ...plan import PlanBuilder
+
+    for name, digest in msg.digests.items():
+        if digest in builders:
+            continue
+        payload = msg.payloads.get(name)
+        if payload is None:
+            raise FleetProtocolError(
+                f"eval chunk references unprimed context {name!r} "
+                f"({digest[:12]}) and carries no payload for it")
+        graph, cluster, profile, order, group_of = payload
+        builders[digest] = PlanBuilder(
+            graph, cluster, profile,
+            use_order_scheduling=order, group_of=group_of)
+    outcomes = []
+    for name, strategy_dict in msg.items:
+        builder = builders[msg.digests[name]]
+        strategy = strategy_from_dict(strategy_dict, builder.graph,
+                                      builder.cluster)
+        outcomes.append(builder.evaluate(strategy))
+    return outcomes
+
+
+def _fleet_worker_main(worker_id: str, inbox, outbox,
+                       heartbeat_interval: float,
+                       max_contexts: int) -> None:
+    """Entry point of one fleet worker process."""
+    # the forked child inherits the parent's ambient telemetry session
+    # and fleet registry; both are manager-process concerns — drop them
+    # so worker-side evaluations stay silent and a BatchEvaluator used
+    # *inside* a worker never tries to borrow the fleet it lives in.
+    _clear_active_fleets()
+    while telemetry.active() is not None:
+        telemetry.disable()
+
+    contexts: "OrderedDict[str, Any]" = OrderedDict()
+    eval_builders: Dict[str, Any] = {}
+    served = [0]
+    stop = threading.Event()
+
+    def _beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            try:
+                outbox.put(HeartbeatMessage(
+                    worker=worker_id, ts=time.time(),
+                    served=served[0]).to_wire())
+            except (OSError, ValueError):  # queue gone: manager exited
+                return
+
+    beater = threading.Thread(target=_beat, daemon=True,
+                              name=f"{worker_id}-heartbeat")
+    beater.start()
+    outbox.put(WorkerReadyMessage(worker=worker_id,
+                                  pid=os.getpid()).to_wire())
+    try:
+        while True:
+            msg = message_from_wire(inbox.get())
+            if isinstance(msg, ShutdownMessage):
+                break
+            if isinstance(msg, PlanRequestMessage):
+                outbox.put(ProgressMessage(
+                    ticket=msg.ticket, worker=worker_id).to_wire())
+                if msg.stall_seconds > 0:
+                    time.sleep(msg.stall_seconds)
+                try:
+                    result = _worker_serve(contexts, msg.request,
+                                           max_contexts)
+                except (ReproError, ValueError, KeyError,
+                        TypeError) as exc:
+                    outbox.put(FailedMessage(
+                        ticket=msg.ticket, worker=worker_id, kind="plan",
+                        error_type=type(exc).__name__,
+                        message=str(exc)[:500]).to_wire())
+                else:
+                    served[0] += 1
+                    outbox.put(CompletedMessage(
+                        ticket=msg.ticket, worker=worker_id,
+                        result=result).to_wire())
+            elif isinstance(msg, EvalRequestMessage):
+                outbox.put(ProgressMessage(
+                    ticket=msg.job, worker=worker_id).to_wire())
+                try:
+                    outcomes = _worker_evaluate(eval_builders, msg)
+                except (ReproError, ValueError, KeyError,
+                        TypeError) as exc:
+                    outbox.put(FailedMessage(
+                        ticket=msg.job, worker=worker_id, kind="eval",
+                        error_type=type(exc).__name__,
+                        message=str(exc)[:500]).to_wire())
+                else:
+                    served[0] += 1
+                    outbox.put(EvalCompletedMessage(
+                        job=msg.job, worker=worker_id,
+                        outcomes=outcomes).to_wire())
+            else:
+                raise FleetProtocolError(
+                    f"worker {worker_id} cannot handle "
+                    f"{type(msg).__name__}")
+    finally:
+        stop.set()
+
+
+def _clear_active_fleets() -> None:
+    """Forked children must not see the parent's registered fleet."""
+    from . import _reset_fleet_registry
+    _reset_fleet_registry()
+
+
+# --------------------------------------------------------------------- #
+# manager side
+@dataclass
+class _Job:
+    """One unit of fleet work: an admitted plan ticket or an eval chunk."""
+
+    kind: str                        # "plan" | "eval"
+    key: str                         # ticket fingerprint or eval job id
+    ticket: Any = None               # PlanTicket (plan jobs)
+    message: Any = None              # prebuilt EvalRequestMessage (eval)
+    queue_seconds: float = 0.0
+    attempts: int = 0
+    worker: Optional[str] = None     # currently assigned worker id
+    lost_on: List[str] = field(default_factory=list)
+    # eval-job completion plumbing
+    event: Optional[threading.Event] = None
+    outcomes: Optional[list] = None
+    error: Optional[BaseException] = None
+
+    @property
+    def request_id(self) -> str:
+        return self.ticket.request.request_id if self.ticket is not None \
+            else self.key
+
+
+@dataclass
+class _WorkerHandle:
+    """Manager-side view of one worker process."""
+
+    id: str
+    process: Any
+    inbox: Any
+    spawned_at: float
+    last_beat: float
+    outbox: Any = None               # this worker's private result queue
+    reader: Any = None               # manager-side forwarding thread
+    pid: int = 0
+    job: Optional[_Job] = None
+    condemned: bool = False
+    reported_misses: int = 0
+    served: int = 0
+    primed: set = field(default_factory=set)  # eval-context digests
+
+    @property
+    def idle(self) -> bool:
+        return self.job is None and not self.condemned
+
+
+@dataclass
+class FleetStats:
+    """Always-on fleet accounting (mirrored into telemetry gauges)."""
+
+    spawned: int = 0
+    exited: int = 0
+    lost: int = 0
+    heartbeats: int = 0
+    heartbeat_misses: int = 0
+    dispatched: int = 0
+    redispatched: int = 0
+    discarded: int = 0
+    plan_completed: int = 0
+    plan_failed: int = 0
+    eval_jobs: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        import dataclasses
+        return dataclasses.asdict(self)
+
+
+class ProcessFleetBackend(ExecutionBackend):
+    """Manager/worker fleet of persistent planning processes."""
+
+    name = "fleet"
+
+    def __init__(self, workers: int = 2, *,
+                 heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+                 heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+                 redispatch_limit: int = DEFAULT_REDISPATCH_LIMIT,
+                 drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
+                 stall_labels: Optional[Dict[str, float]] = None,
+                 mp_context: Optional[str] = None):
+        super().__init__()
+        if workers < 1:
+            raise ReproError(
+                f"fleet backend needs workers >= 1, got {workers}")
+        if heartbeat_interval <= 0 or heartbeat_timeout <= 0:
+            raise ReproError("heartbeat interval/timeout must be positive")
+        if heartbeat_timeout <= heartbeat_interval:
+            raise ReproError(
+                f"heartbeat_timeout ({heartbeat_timeout}) must exceed "
+                f"heartbeat_interval ({heartbeat_interval})")
+        if redispatch_limit < 0:
+            raise ReproError(
+                f"redispatch_limit must be >= 0, got {redispatch_limit}")
+        self.workers = workers
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = heartbeat_timeout
+        self.redispatch_limit = redispatch_limit
+        self.drain_timeout = drain_timeout
+        self.stall_labels = dict(stall_labels or {})
+        self.mp_context = mp_context
+        self.stats = FleetStats()
+        self._manager: Optional[threading.Thread] = None
+        self._wake = threading.Event()
+        self._closing = threading.Event()
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self._fleet: Dict[str, _WorkerHandle] = {}   # manager thread only
+        self._jobs: Dict[Tuple[str, str], _Job] = {}  # assigned jobs
+        self._ready: "collections.deque[_Job]" = collections.deque()
+        self._eval_inbox: List[_Job] = []            # under _mutex
+        self._serving: Dict[str, str] = {}           # key -> worker (mutex)
+        self._inproc: "queue_mod.Queue" = queue_mod.Queue()
+        self._mp = None
+        self._worker_seq = itertools.count()
+        self._job_seq = itertools.count(1)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    def ensure_started(self) -> None:
+        """Start the manager event loop once (idempotent, cheap)."""
+        if self._manager is not None or self._closed:
+            return
+        import multiprocessing
+
+        self._mp = multiprocessing.get_context(self.mp_context)
+        self._manager = threading.Thread(
+            target=self._event_loop, daemon=True,
+            name=f"{self.service.name}-fleet-manager")
+        self._manager.start()
+        from . import _register_fleet
+        _register_fleet(self)
+
+    def wake(self) -> None:
+        self._wake.set()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        from . import _unregister_fleet
+        _unregister_fleet(self)
+        self._closing.set()
+        self._wake.set()
+        if self._manager is not None:
+            self._manager.join(self.drain_timeout + 10.0)
+            if self._manager.is_alive():
+                self.service.recorder.emit(
+                    f"{self.service.name}-fleet", "worker_join_timeout",
+                    worker="manager", timeout=self.drain_timeout)
+                warnings.warn(
+                    f"fleet manager of service {self.service.name!r} did "
+                    f"not drain within {self.drain_timeout:.1f}s of "
+                    f"close(); worker processes may be leaked",
+                    RuntimeWarning, stacklevel=3)
+
+    # ------------------------------------------------------------------ #
+    # test / introspection hooks
+    def wait_serving(self, key: str, timeout: float = 10.0) -> Optional[str]:
+        """Block until a worker reports it started serving ``key``
+        (a ticket fingerprint or eval job id); returns the worker id."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while key not in self._serving:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._cond.wait(remaining)
+            return self._serving[key]
+
+    def worker_pids(self) -> Dict[str, int]:
+        """Live worker pids by id (test hook; racy by nature)."""
+        return {w.id: w.pid for w in list(self._fleet.values())
+                if w.pid and w.process.is_alive()}
+
+    def snapshot(self) -> Dict[str, object]:
+        fleet = list(self._fleet.values())
+        return {
+            "name": self.name,
+            "workers": self.workers,
+            "alive": sum(1 for w in fleet if w.process.is_alive()),
+            "busy": sum(1 for w in fleet if w.job is not None),
+            "condemned": sum(1 for w in fleet if w.condemned),
+            "heartbeat_interval": self.heartbeat_interval,
+            "heartbeat_timeout": self.heartbeat_timeout,
+            "redispatch_limit": self.redispatch_limit,
+            "stats": self.stats.snapshot(),
+            "closed": self._closed,
+        }
+
+    # ------------------------------------------------------------------ #
+    # BatchEvaluator borrow path
+    def evaluate_batch(self, payloads: Dict[str, tuple],
+                       digests: Dict[str, str],
+                       items: List[Tuple[str, dict]]) -> list:
+        """Evaluate (context, strategy-dict) pairs on the fleet.
+
+        Splits ``items`` into per-worker chunks, dispatches them like
+        plan requests (same re-dispatch machinery), and reassembles
+        outcomes in input order.  Raises on fleet shutdown or an
+        exhausted re-dispatch budget — the caller
+        (:class:`~repro.plan.BatchEvaluator`) falls back to its own
+        pool/serial path on any :class:`~repro.errors.ReproError`.
+        """
+        if self._closed or not items:
+            if self._closed:
+                raise ServiceClosedError("fleet backend is closed")
+            return []
+        chunk_count = min(len(items), self.workers)
+        bounds = [(len(items) * i) // chunk_count
+                  for i in range(chunk_count + 1)]
+        jobs: List[_Job] = []
+        with self._mutex:
+            for i in range(chunk_count):
+                chunk = items[bounds[i]:bounds[i + 1]]
+                used = {name for name, _ in chunk}
+                job_id = f"eval-{next(self._job_seq):06d}"
+                job = _Job(
+                    kind="eval", key=job_id,
+                    message=EvalRequestMessage(
+                        job=job_id,
+                        digests={n: d for n, d in digests.items()
+                                 if n in used},
+                        payloads={n: p for n, p in payloads.items()
+                                  if n in used},
+                        items=list(chunk)),
+                    event=threading.Event())
+                self._eval_inbox.append(job)
+                jobs.append(job)
+        self.stats.eval_jobs += len(jobs)
+        self._wake.set()
+        outcomes: list = []
+        for job in jobs:
+            job.event.wait()
+            if job.error is not None:
+                raise job.error
+            outcomes.extend(job.outcomes or [])
+        return outcomes
+
+    # ------------------------------------------------------------------ #
+    # manager event loop
+    def _event_loop(self) -> None:
+        service = self.service
+        try:
+            for _ in range(self.workers):
+                self._spawn_worker()
+            drain_deadline: Optional[float] = None
+            while True:
+                self._pump_messages()
+                self._check_health()
+                self._assign_work()
+                if self._closing.is_set():
+                    if drain_deadline is None:
+                        drain_deadline = time.monotonic() \
+                            + self.drain_timeout
+                        self._fail_undispatched(ServiceClosedError(
+                            f"planning service {service.name!r} closed "
+                            f"before serving this request"))
+                    if not self._jobs:
+                        break
+                    if time.monotonic() > drain_deadline:
+                        for job in list(self._jobs.values()):
+                            self._resolve_error(job, ServiceClosedError(
+                                "fleet drain timed out with the request "
+                                "still in flight"))
+                        break
+        finally:
+            self._shutdown_workers()
+
+    def _read_worker(self, outbox) -> None:
+        """Forward one worker's frames into the in-process mailbox.
+
+        One daemon thread per worker: each blocking ``get`` touches a
+        queue with exactly one writer *process*, so a worker that dies
+        mid-write can wedge only this thread (which is then abandoned —
+        see :meth:`_release_reader`), never the event loop.
+        """
+        while True:
+            try:
+                frame = outbox.get()
+            except (EOFError, OSError, ValueError):
+                return
+            if frame == _READER_STOP:
+                return
+            self._inproc.put(frame)
+
+    def _pump_messages(self) -> None:
+        """Drain the in-process mailbox; the first get is the loop's sleep."""
+        block = True
+        while True:
+            try:
+                if block:
+                    frame = self._inproc.get(timeout=_TICK)
+                    block = False
+                else:
+                    frame = self._inproc.get_nowait()
+            except queue_mod.Empty:
+                return
+            try:
+                self._handle_message(message_from_wire(frame))
+            except FleetProtocolError:
+                # a malformed frame is a bug, not a request failure;
+                # drop it rather than poison the loop
+                continue
+
+    def _handle_message(self, msg: Message) -> None:
+        worker = self._fleet.get(getattr(msg, "worker", ""))
+        if isinstance(msg, HeartbeatMessage):
+            if worker is not None:
+                worker.last_beat = time.monotonic()
+                worker.reported_misses = 0
+                self.stats.heartbeats += 1
+            return
+        if isinstance(msg, WorkerReadyMessage):
+            if worker is not None:
+                worker.pid = msg.pid
+                worker.last_beat = time.monotonic()
+            return
+        if isinstance(msg, ProgressMessage):
+            with self._cond:
+                self._serving[msg.ticket] = msg.worker
+                self._cond.notify_all()
+            return
+        if isinstance(msg, CompletedMessage):
+            self._on_job_result(msg.worker, ("plan", msg.ticket),
+                                result=msg.result)
+            return
+        if isinstance(msg, EvalCompletedMessage):
+            self._on_job_result(msg.worker, ("eval", msg.job),
+                                outcomes=msg.outcomes)
+            return
+        if isinstance(msg, FailedMessage):
+            self._on_job_result(
+                msg.worker, (msg.kind, msg.ticket),
+                error=rebuild_error(msg.error_type, msg.message))
+            return
+
+    def _on_job_result(self, worker_id: str, key: Tuple[str, str], *,
+                       result=None, outcomes=None, error=None) -> None:
+        """At-most-once resolution: only the assigned worker resolves."""
+        job = self._jobs.get(key)
+        worker = self._fleet.get(worker_id)
+        if job is None or job.worker != worker_id:
+            # the job was re-dispatched (or already resolved) after this
+            # worker was declared lost: discard the late result
+            self.stats.discarded += 1
+            telemetry.emit_count("service_fleet_results_discarded_total",
+                                 help="late fleet results discarded")
+            self.service.recorder.emit(
+                job.request_id if job is not None else key[1],
+                "worker_result_discarded", worker=worker_id)
+            if worker is not None and worker.condemned \
+                    and worker.job is None:
+                pass  # reaped by _check_health once the process exits
+            return
+        del self._jobs[key]
+        with self._cond:
+            self._serving.pop(key[1], None)
+        if worker is not None and worker.job is job:
+            worker.job = None
+            worker.served += 1
+        if error is not None:
+            self._resolve_error(job, error)
+        elif job.kind == "plan":
+            self.stats.plan_completed += 1
+            result.queue_seconds = job.queue_seconds
+            self.service._finish(job.ticket, result=result,
+                                 queue_seconds=job.queue_seconds)
+        else:
+            job.outcomes = outcomes
+            job.event.set()
+        self._update_gauges()
+
+    def _resolve_error(self, job: _Job, error: BaseException) -> None:
+        self._jobs.pop((job.kind, job.key), None)
+        if job.kind == "plan":
+            self.stats.plan_failed += 1
+            self.service._finish(job.ticket, error=error,
+                                 queue_seconds=job.queue_seconds)
+        else:
+            job.error = error
+            job.event.set()
+
+    # ------------------------------------------------------------------ #
+    def _check_health(self) -> None:
+        now = time.monotonic()
+        for worker in list(self._fleet.values()):
+            if worker.condemned:
+                if not worker.process.is_alive():
+                    self._reap(worker)
+                continue
+            if not worker.process.is_alive():
+                self._on_worker_lost(worker, reason="process_dead")
+                continue
+            age = now - worker.last_beat
+            misses = int(age / self.heartbeat_interval) - 1
+            if misses > worker.reported_misses and misses >= 1:
+                worker.reported_misses = misses
+                self.stats.heartbeat_misses += 1
+                self.service.recorder.emit(
+                    self._worker_rid(worker), "worker_heartbeat_missed",
+                    worker=worker.id, misses=misses)
+            if age > self.heartbeat_timeout:
+                self._on_worker_lost(worker, reason="heartbeat_timeout")
+
+    def _on_worker_lost(self, worker: _WorkerHandle, reason: str) -> None:
+        worker.condemned = True
+        self.stats.lost += 1
+        telemetry.emit_count("service_fleet_workers_lost_total",
+                             help="fleet workers declared lost")
+        rid = self._worker_rid(worker)
+        self.service.recorder.emit(
+            rid, "worker_lost", worker=worker.id, reason=reason,
+            alive=worker.process.is_alive(), served=worker.served)
+        self.service.recorder.finish(rid, "failed")
+        job = worker.job
+        worker.job = None
+        if job is not None:
+            job.lost_on.append(worker.id)
+            job.worker = None
+            with self._cond:
+                self._serving.pop(job.key, None)
+            if job.attempts > self.redispatch_limit:
+                self._resolve_error(job, WorkerLostError(
+                    f"request lost {job.attempts} worker(s) "
+                    f"({', '.join(job.lost_on)}); giving up after "
+                    f"redispatch_limit={self.redispatch_limit}",
+                    attempts=job.attempts, workers=job.lost_on))
+            else:
+                self.stats.redispatched += 1
+                telemetry.emit_count(
+                    "service_fleet_redispatched_total",
+                    help="in-flight requests re-dispatched")
+                self.service.recorder.emit(
+                    job.request_id, "request_redispatched",
+                    worker=worker.id, attempt=job.attempts)
+                self._ready.appendleft(job)
+        if not worker.process.is_alive():
+            self._reap(worker)
+        if not self._closing.is_set():
+            self._spawn_worker()
+        self._update_gauges()
+
+    def _release_reader(self, worker: _WorkerHandle) -> None:
+        """Stop a worker's forwarding thread after a *clean* exit.
+
+        After an abrupt death (SIGKILL) the worker's channel may hold a
+        half-written frame or an orphaned writer lock, so even the stop
+        sentinel could block — the daemon reader is abandoned instead
+        (parked on an empty queue, zero CPU, bounded by lost workers).
+        """
+        if worker.outbox is None or worker.process.exitcode != 0:
+            return
+        try:
+            worker.outbox.put(_READER_STOP)
+        except (OSError, ValueError):
+            return
+        if worker.reader is not None:
+            worker.reader.join(timeout=1.0)
+
+    def _reap(self, worker: _WorkerHandle) -> None:
+        self._fleet.pop(worker.id, None)
+        worker.process.join(timeout=0.1)
+        self._release_reader(worker)
+        self.stats.exited += 1
+        telemetry.emit_gauge("service_fleet_worker_up", 0.0,
+                             labels={"worker": worker.id},
+                             help="1 while a fleet worker is dispatchable")
+        self._update_gauges()
+
+    def _spawn_worker(self) -> None:
+        wid = f"w{next(self._worker_seq)}"
+        inbox = self._mp.Queue()
+        outbox = self._mp.Queue()
+        process = self._mp.Process(
+            target=_fleet_worker_main,
+            args=(wid, inbox, outbox, self.heartbeat_interval,
+                  self.service.max_contexts),
+            daemon=True, name=f"{self.service.name}-fleet-{wid}")
+        process.start()
+        now = time.monotonic()
+        reader = threading.Thread(
+            target=self._read_worker, args=(outbox,), daemon=True,
+            name=f"{self.service.name}-fleet-{wid}-reader")
+        reader.start()
+        worker = _WorkerHandle(id=wid, process=process, inbox=inbox,
+                               spawned_at=now, last_beat=now,
+                               outbox=outbox, reader=reader)
+        self._fleet[wid] = worker
+        self.stats.spawned += 1
+        rid = self._worker_rid(worker)
+        self.service.recorder.begin(rid, label=f"fleet:{wid}")
+        self.service.recorder.emit(rid, "worker_spawn", worker=wid,
+                                   pid=process.pid or 0)
+        telemetry.emit_gauge("service_fleet_worker_up", 1.0,
+                             labels={"worker": wid},
+                             help="1 while a fleet worker is dispatchable")
+        self._update_gauges()
+
+    def _worker_rid(self, worker: _WorkerHandle) -> str:
+        return f"{self.service.name}-fleet-{worker.id}"
+
+    # ------------------------------------------------------------------ #
+    def _assign_work(self) -> None:
+        self._wake.clear()
+        with self._mutex:
+            if self._eval_inbox:
+                self._ready.extend(self._eval_inbox)
+                self._eval_inbox.clear()
+        while True:
+            worker = next((w for w in self._fleet.values() if w.idle),
+                          None)
+            if worker is None:
+                return
+            job = self._next_job()
+            if job is None:
+                return
+            self._dispatch(job, worker)
+
+    def _next_job(self) -> Optional[_Job]:
+        while self._ready:
+            job = self._ready.popleft()
+            if job.kind == "plan" and job.ticket.done:
+                continue
+            return job
+        if self._closing.is_set():
+            return None
+        while True:
+            ticket = self.service._next_ticket()
+            if ticket is None:
+                return None
+            queue_seconds = time.perf_counter() - ticket.submitted_at
+            self.service._observe("service_wait_seconds", queue_seconds)
+            if self.service._fail_expired(ticket, queue_seconds):
+                continue  # deadline lapsed while queued: never dispatch
+            return _Job(kind="plan", key=ticket.fingerprint,
+                        ticket=ticket, queue_seconds=queue_seconds)
+
+    def _dispatch(self, job: _Job, worker: _WorkerHandle) -> None:
+        job.attempts += 1
+        job.worker = worker.id
+        worker.job = job
+        self._jobs[(job.kind, job.key)] = job
+        self.stats.dispatched += 1
+        if job.kind == "plan":
+            request = job.ticket.request
+            if job.attempts == 1:
+                # the worker-side evaluation is this service's
+                # "executed" unit, re-dispatches don't re-count
+                with self.service._lock:
+                    self.service.stats.executed += 1
+            stall = next(
+                (s for prefix, s in self.stall_labels.items()
+                 if request.label.startswith(prefix)), 0.0)
+            self.service.recorder.emit(
+                request.request_id, "dispatched", worker=worker.id,
+                attempt=job.attempts)
+            msg: Message = PlanRequestMessage(
+                ticket=job.key, request=request,
+                queue_seconds=job.queue_seconds, stall_seconds=stall)
+        else:
+            eval_msg: EvalRequestMessage = job.message
+            needed = {
+                name: payload
+                for name, payload in eval_msg.payloads.items()
+                if eval_msg.digests[name] not in worker.primed
+            }
+            worker.primed.update(eval_msg.digests.values())
+            msg = EvalRequestMessage(
+                job=eval_msg.job, digests=eval_msg.digests,
+                payloads=needed, items=eval_msg.items)
+        try:
+            worker.inbox.put(msg.to_wire())
+        except (OSError, ValueError):
+            self._on_worker_lost(worker, reason="inbox_closed")
+            return
+        self._update_gauges()
+
+    def _fail_undispatched(self, error: BaseException) -> None:
+        while self._ready:
+            job = self._ready.popleft()
+            if job.kind == "plan" and job.ticket.done:
+                continue
+            self._jobs.pop((job.kind, job.key), None)
+            self._resolve_error(job, error)
+        with self._mutex:
+            pending, self._eval_inbox = self._eval_inbox, []
+        for job in pending:
+            self._resolve_error(job, error)
+
+    # ------------------------------------------------------------------ #
+    def _shutdown_workers(self) -> None:
+        for worker in list(self._fleet.values()):
+            try:
+                worker.inbox.put(ShutdownMessage(reason="close").to_wire())
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 5.0
+        for worker in list(self._fleet.values()):
+            worker.process.join(
+                timeout=max(0.1, deadline - time.monotonic()))
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=2.0)
+            rid = self._worker_rid(worker)
+            self.service.recorder.emit(rid, "worker_exit",
+                                       worker=worker.id,
+                                       served=worker.served)
+            self.service.recorder.finish(rid, "completed")
+            telemetry.emit_gauge(
+                "service_fleet_worker_up", 0.0,
+                labels={"worker": worker.id},
+                help="1 while a fleet worker is dispatchable")
+            self.stats.exited += 1
+            self._release_reader(worker)
+        self._fleet.clear()
+        # unblock every remaining waiter: evaluate_batch callers that
+        # raced with close() and any job the drain loop left in flight
+        closed = ServiceClosedError("fleet backend closed")
+        self._fail_undispatched(closed)
+        for job in list(self._jobs.values()):
+            self._resolve_error(job, closed)
+        self._update_gauges()
+
+    def _update_gauges(self) -> None:
+        fleet = self._fleet.values()
+        telemetry.emit_gauge(
+            "service_fleet_workers",
+            sum(1 for w in fleet if w.process.is_alive()),
+            help="live fleet worker processes")
+        telemetry.emit_gauge(
+            "service_fleet_busy",
+            sum(1 for w in fleet if w.job is not None),
+            help="fleet workers currently serving a request")

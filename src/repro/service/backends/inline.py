@@ -1,0 +1,25 @@
+"""Synchronous execution on the caller's thread (``workers=0``).
+
+No queue, no threads, no processes: ``submit()`` serves the request
+before it returns.  This is the mode the :class:`~repro.heterog.
+HeteroG` facade, the multi-job allocator and the resilience replanner
+use, where ordering is already serial and determinism is the priority.
+"""
+
+from __future__ import annotations
+
+from .base import ExecutionBackend
+
+
+class InlineBackend(ExecutionBackend):
+    name = "inline"
+    inline = True
+
+    def run_inline(self, ticket) -> None:
+        self.service._run_ticket(ticket)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def snapshot(self):
+        return {"name": self.name, "closed": self._closed}

@@ -96,17 +96,36 @@ def _strategy_key(result: PlanResult) -> Dict[str, str]:
     return {name: st.label() for name, st in result.strategy.items()}
 
 
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a non-empty sample."""
+    if not values:
+        raise ReproError("percentile of an empty sample")
+    ranked = sorted(values)
+    rank = max(0, min(len(ranked) - 1,
+                      int(round(q / 100.0 * (len(ranked) - 1)))))
+    return ranked[rank]
+
+
 def bench_coalescing(graph: ComputationGraph, cluster, *,
                      duplicates: int = 6, episodes: int = 4,
                      workers: int = 2, seed: int = 0,
-                     config: Optional[HeteroGConfig] = None) -> Dict:
+                     config: Optional[HeteroGConfig] = None,
+                     backend: str = "auto",
+                     backend_options: Optional[Dict] = None) -> Dict:
     """Coalesced concurrent serving vs naive serial replanning.
 
     Serial baseline: each duplicate request re-plans from scratch on a
     fresh service (what the three pre-service call paths effectively
     did).  Concurrent: all duplicates hit one service at once and
     coalesce onto a single evaluation.  Returns the numbers dict the
-    benchmark asserts on and ``repro bench-service`` prints.
+    benchmark asserts on and ``repro bench-service`` prints, including
+    the sustained-throughput numbers (requests/sec, p50/p99 latency)
+    the committed regression baseline
+    (``benchmarks/results/BENCH_service_throughput.json``) gates on.
+
+    ``backend`` selects the execution backend for the concurrent
+    service (``auto``/``inline``/``thread``/``fleet``); the serial
+    baseline always runs inline.
     """
     config = config or HeteroGConfig(seed=seed)
 
@@ -126,7 +145,9 @@ def bench_coalescing(graph: ComputationGraph, cluster, *,
     # coalesced concurrent serving: one warm service, all at once
     registry = telemetry.MetricsRegistry()
     with telemetry.session(registry=registry):
-        with PlanningService(workers=workers, name="bench") as service:
+        with PlanningService(workers=workers, name="bench",
+                             backend=backend,
+                             backend_options=backend_options) as service:
             report = run_workload(service,
                                   [request() for _ in range(duplicates)])
     coalesced_metric = registry.get("service_coalesced_total")
@@ -146,12 +167,14 @@ def bench_coalescing(graph: ComputationGraph, cluster, *,
                  for r in serial_results + concurrent_results}
 
     concurrent_s = report.wall_seconds
+    latencies = [o.seconds for o in report.outcomes]
     return {
         "model": graph.name,
         "cluster": str(cluster),
         "duplicates": duplicates,
         "episodes": episodes,
         "workers": workers,
+        "backend": backend,
         "serial_seconds": round(serial_s, 3),
         "concurrent_seconds": round(concurrent_s, 3),
         "speedup": round(serial_s / concurrent_s, 2)
@@ -160,6 +183,8 @@ def bench_coalescing(graph: ComputationGraph, cluster, *,
         if serial_s > 0 else float("inf"),
         "concurrent_requests_per_sec": round(duplicates / concurrent_s, 3)
         if concurrent_s > 0 else float("inf"),
+        "latency_p50_ms": round(percentile(latencies, 50) * 1e3, 3),
+        "latency_p99_ms": round(percentile(latencies, 99) * 1e3, 3),
         "evaluations_executed": report.stats["executed"],
         "coalesced": report.stats["coalesced"],
         "result_cache_hits": report.stats["result_hits"],

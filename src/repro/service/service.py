@@ -11,16 +11,16 @@ objects, and:
   work fast with a structured
   :class:`~repro.errors.ServiceOverloadedError`, and requests whose
   deadline expires while queued are failed without being evaluated;
-- **dispatches** — a bounded pool of daemon worker threads serves
-  requests in (priority, arrival) order on warm
-  :class:`~repro.service.context.PlanContext` sessions, one lock per
-  context, so distinct contexts plan concurrently while results stay
-  bit-identical to serial execution.
-
-``workers=0`` runs the whole pipeline inline on the caller's thread
-(no queue, no threads) — the mode the :class:`~repro.heterog.HeteroG`
-facade and the resilience replanner use, where ordering is already
-serial and determinism is the priority.
+- **dispatches** — to an :class:`~repro.service.backends.base.
+  ExecutionBackend`, which serves admitted requests in (priority,
+  arrival) order on warm :class:`~repro.service.context.PlanContext`
+  sessions.  ``backend="auto"`` (the default) preserves the historical
+  modes: ``workers=0`` is the inline backend (the whole pipeline on
+  the caller's thread — the mode the :class:`~repro.heterog.HeteroG`
+  facade and the resilience replanner use), anything else the
+  in-process thread pool.  ``backend="fleet"`` serves on persistent
+  worker *processes* with heartbeat failure detection and re-dispatch
+  (:class:`~repro.service.backends.fleet.ProcessFleetBackend`).
 
 Telemetry (when a session is active): ``service_queue_depth`` gauge,
 ``service_wait_seconds`` / ``service_latency_seconds`` histograms, and
@@ -52,6 +52,7 @@ from ..telemetry.context import request_scope
 from ..telemetry.critical_path import critical_path
 from ..telemetry.flight import FlightRecorder, default_recorder
 from ..telemetry.slo import SLOTracker, priority_class
+from .backends.base import ExecutionBackend, make_backend
 from .context import PlanContext
 from .request import PlanRequest, PlanResult
 
@@ -131,7 +132,9 @@ class PlanningService:
                  result_cache_size: int = DEFAULT_RESULT_CACHE,
                  name: str = "planning",
                  recorder: Optional[FlightRecorder] = None,
-                 slo: Optional[SLOTracker] = None):
+                 slo: Optional[SLOTracker] = None,
+                 backend: object = "auto",
+                 backend_options: Optional[Dict[str, object]] = None):
         if workers < 0:
             raise ReproError(f"workers must be >= 0, got {workers}")
         if max_queue < 1:
@@ -152,9 +155,11 @@ class PlanningService:
         self._tickets: Dict[str, PlanTicket] = {}     # in-flight by fp
         self._results = PlanCache(result_cache_size, kind="service")
         self._contexts: "OrderedDict[str, PlanContext]" = OrderedDict()
-        self._threads: List[threading.Thread] = []
         self._seq = 0
         self._closed = False
+        self._backend: ExecutionBackend = make_backend(
+            backend, workers=workers, options=backend_options)
+        self._backend.bind(self)
 
     # ------------------------------------------------------------------ #
     def __enter__(self) -> "PlanningService":
@@ -188,6 +193,7 @@ class PlanningService:
         return {
             "service": self.name,
             "stats": self.stats.snapshot(),
+            "backend": self._backend.snapshot(),
             "queue": {"depth": depth, "capacity": self.max_queue},
             "inflight": inflight,
             "contexts": {"warm": warm, "capacity": self.max_contexts},
@@ -256,7 +262,7 @@ class PlanningService:
                                    primary=existing.request.request_id)
                 self.recorder.finish(rid, "coalesced")
                 return existing
-            if self.workers == 0:
+            if self._backend.inline:
                 if len(self._tickets) >= self.max_queue:
                     # inline mode has no queue, but the same admission
                     # bound applies to concurrent inline submissions
@@ -272,11 +278,13 @@ class PlanningService:
                 heapq.heappush(self._queue,
                                (-request.priority, ticket.seq, fp))
                 self._gauge("service_queue_depth", len(self._queue))
-                self._ensure_workers()
+                self._backend.ensure_started()
                 self._not_empty.notify()
-                return ticket
-        # workers == 0: execute synchronously on the caller's thread
-        self._run_ticket(inline)
+        if inline is None:
+            self._backend.wake()
+            return ticket
+        # inline backend: execute synchronously on the caller's thread
+        self._backend.run_inline(inline)
         return inline
 
     def _reject(self, request: PlanRequest, depth: int) -> None:
@@ -311,7 +319,13 @@ class PlanningService:
             raise
 
     def close(self) -> None:
-        """Stop accepting work; fail queued requests; join the workers."""
+        """Stop accepting work; fail queued requests; stop the backend.
+
+        Idempotent across all backends: a second (or concurrent)
+        ``close()`` is a no-op.  Backends bound their own shutdown
+        waits and surface a stuck worker (``worker_join_timeout``
+        journal event + ``RuntimeWarning``) instead of hanging forever.
+        """
         with self._not_empty:
             if self._closed:
                 return
@@ -328,9 +342,7 @@ class PlanningService:
             ticket._resolve(None, ServiceClosedError(
                 f"planning service {self.name!r} closed before serving "
                 f"request {ticket.fingerprint[:12]}"))
-        for thread in self._threads:
-            thread.join(timeout=60.0)
-        self._threads.clear()
+        self._backend.close()
 
     # ------------------------------------------------------------------ #
     def context_for(self, request: PlanRequest) -> PlanContext:
@@ -354,42 +366,40 @@ class PlanningService:
         return ctx
 
     # ------------------------------------------------------------------ #
-    def _ensure_workers(self) -> None:
-        """Spawn worker threads lazily (caller holds the lock)."""
-        while len(self._threads) < self.workers:
-            thread = threading.Thread(
-                target=self._worker, daemon=True,
-                name=f"{self.name}-worker-{len(self._threads)}")
-            self._threads.append(thread)
-            thread.start()
+    def _next_ticket(self) -> Optional[PlanTicket]:
+        """Pop the highest-priority queued ticket without blocking.
 
-    def _worker(self) -> None:
-        while True:
-            with self._not_empty:
-                while not self._queue and not self._closed:
-                    self._not_empty.wait()
-                if self._closed and not self._queue:
-                    return
-                _, _, fp = heapq.heappop(self._queue)
-                self._gauge("service_queue_depth", len(self._queue))
-                ticket = self._tickets.get(fp)
-            if ticket is not None:
-                self._run_ticket(ticket)
+        The fleet manager's dispatch path; thread workers block on the
+        condition variable instead (see ``ThreadBackend._worker``).
+        """
+        with self._lock:
+            if not self._queue:
+                return None
+            _, _, fp = heapq.heappop(self._queue)
+            self._gauge("service_queue_depth", len(self._queue))
+            return self._tickets.get(fp)
+
+    def _fail_expired(self, ticket: PlanTicket,
+                      queue_seconds: float) -> bool:
+        """Fail a ticket whose deadline lapsed while queued (no eval)."""
+        if ticket.deadline is None \
+                or time.perf_counter() <= ticket.deadline:
+            return False
+        with self._lock:
+            self.stats.timeouts += 1
+        self._count("service_timeouts_total", {"stage": "queue"})
+        self._finish(ticket, error=ServiceTimeoutError(
+            ticket.request.timeout or 0.0, stage="queue",
+            fingerprint=ticket.fingerprint),
+            queue_seconds=queue_seconds)
+        return True
 
     def _run_ticket(self, ticket: PlanTicket) -> None:
         queue_seconds = time.perf_counter() - ticket.submitted_at
         self._observe("service_wait_seconds", queue_seconds)
         with request_scope(ticket.request.request_id, self.recorder):
-            if ticket.deadline is not None \
-                    and time.perf_counter() > ticket.deadline:
+            if self._fail_expired(ticket, queue_seconds):
                 # deadline missed while queued: fail fast, never evaluate
-                with self._lock:
-                    self.stats.timeouts += 1
-                self._count("service_timeouts_total", {"stage": "queue"})
-                self._finish(ticket, error=ServiceTimeoutError(
-                    ticket.request.timeout or 0.0, stage="queue",
-                    fingerprint=ticket.fingerprint),
-                    queue_seconds=queue_seconds)
                 return
             try:
                 result = self._serve(ticket.request, queue_seconds)
@@ -500,25 +510,18 @@ class PlanningService:
         return report.blame_fractions()
 
     # ------------------------------------------------------------------ #
+    # thin delegates to the shared ambient-session helpers
+    # (kept as methods: backends and tests go through the service)
     def _count(self, metric: str,
                labels: Optional[Dict[str, str]] = None) -> None:
-        tel = telemetry.active()
-        if tel is not None:
-            tel.registry.counter(
-                metric, labels=labels,
-                help="planning-service request accounting",
-            ).inc()
+        telemetry.emit_count(
+            metric, labels=labels,
+            help="planning-service request accounting")
 
     def _gauge(self, metric: str, value: float) -> None:
-        tel = telemetry.active()
-        if tel is not None:
-            tel.registry.gauge(
-                metric, help="planning-service queue depth",
-            ).set(value)
+        telemetry.emit_gauge(
+            metric, value, help="planning-service queue depth")
 
     def _observe(self, metric: str, value: float) -> None:
-        tel = telemetry.active()
-        if tel is not None:
-            tel.registry.histogram(
-                metric, help="planning-service latency breakdown",
-            ).observe(value)
+        telemetry.emit_observe(
+            metric, value, help="planning-service latency breakdown")

@@ -93,6 +93,9 @@ __all__ = [
     "disable",
     "session",
     "span",
+    "emit_count",
+    "emit_gauge",
+    "emit_observe",
     # request-scoped observability
     "current_request",
     "current_recorder",
@@ -170,6 +173,38 @@ def span(name: str, **attrs):
     if tel is None:
         return _NULL_SPAN
     return tel.tracer.span(name, **attrs)
+
+
+def emit_count(metric: str, labels=None, value: float = 1.0,
+               help: str = "") -> None:
+    """Increment a counter on the ambient registry (no-op when disabled).
+
+    The one shared implementation of the ``_count`` shim the planning
+    service, the plan cache and the execution backends all need: a
+    single ``active()`` check, so the disabled path stays one attribute
+    read and instrumented modules never copy the boilerplate again.
+    """
+    tel = _ACTIVE
+    if tel is not None:
+        tel.registry.counter(metric, labels=labels, help=help).inc(value)
+
+
+def emit_gauge(metric: str, value: float, labels=None,
+               help: str = "") -> None:
+    """Set a gauge on the ambient registry (no-op when disabled)."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.registry.gauge(metric, labels=labels, help=help).set(value)
+
+
+def emit_observe(metric: str, value: float, labels=None,
+                 help: str = "") -> None:
+    """Observe into a histogram on the ambient registry (no-op when
+    disabled)."""
+    tel = _ACTIVE
+    if tel is not None:
+        tel.registry.histogram(metric, labels=labels,
+                               help=help).observe(value)
 
 
 @contextlib.contextmanager

@@ -52,6 +52,15 @@ EVENT_SCHEMAS: Dict[str, frozenset] = {
     "completed": frozenset({"seconds"}),
     "failed": frozenset({"error"}),
     "timeout": frozenset({"stage"}),
+    # fleet backend: worker lifecycle + dispatch attribution
+    "worker_spawn": frozenset({"worker"}),
+    "worker_exit": frozenset({"worker"}),
+    "worker_heartbeat_missed": frozenset({"worker", "misses"}),
+    "worker_lost": frozenset({"worker"}),
+    "worker_result_discarded": frozenset({"worker"}),
+    "worker_join_timeout": frozenset({"worker"}),
+    "dispatched": frozenset({"worker"}),
+    "request_redispatched": frozenset({"worker", "attempt"}),
     # resilience episodes
     "episode_started": frozenset({"policy", "steps"}),
     "fault_detected": frozenset({"kind", "resource"}),
@@ -74,6 +83,14 @@ PHASE_OF: Dict[str, str] = {
     "completed": "outcome",
     "failed": "outcome",
     "timeout": "outcome",
+    "worker_spawn": "fleet",
+    "worker_exit": "fleet",
+    "worker_heartbeat_missed": "fleet",
+    "worker_lost": "fleet",
+    "worker_result_discarded": "fleet",
+    "worker_join_timeout": "fleet",
+    "dispatched": "fleet",
+    "request_redispatched": "fleet",
     "episode_started": "resilience",
     "fault_detected": "resilience",
     "replan_started": "resilience",
