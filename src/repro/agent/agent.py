@@ -48,6 +48,11 @@ class AgentConfig:
     # worker processes for strategy evaluation (1 = serial in-process;
     # results are bit-identical either way)
     eval_workers: int = 1
+    # winner-safe branch-and-bound pruning (results bit-identical)
+    prune: bool = True
+    # opt-in best-so-far pruning of REINFORCE rollouts (faster but NOT
+    # reward-transparent; see TrainerConfig.prune_rollouts)
+    prune_rollouts: bool = False
 
     @staticmethod
     def paper_scale() -> "AgentConfig":
@@ -134,6 +139,8 @@ class HeteroGAgent:
                     entropy_decay=cfg.entropy_decay,
                     use_seeds=cfg.use_seeds,
                     eval_workers=cfg.eval_workers,
+                    prune=cfg.prune,
+                    prune_rollouts=cfg.prune_rollouts,
                 ),
                 seed=cfg.seed,
             )

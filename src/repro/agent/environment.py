@@ -54,6 +54,8 @@ class StrategyEvaluator:
         """Compile a strategy; raises :class:`CompileError` if invalid."""
         return self.builder.build(strategy).dist
 
-    def evaluate(self, strategy: Strategy, *, trace: bool = False
-                 ) -> EvalOutcome:
-        return self.builder.evaluate(strategy, trace=trace)
+    def evaluate(self, strategy: Strategy, *, trace: bool = False,
+                 best=None, prune: bool = True,
+                 prune_above: Optional[float] = None) -> EvalOutcome:
+        return self.builder.evaluate(strategy, trace=trace, best=best,
+                                     prune=prune, prune_above=prune_above)

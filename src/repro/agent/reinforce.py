@@ -21,7 +21,7 @@ from ..graph.grouping import Grouping
 from ..nn import functional as F
 from ..nn.optim import Adam
 from ..nn.tensor import Tensor
-from ..plan import BatchEvaluator
+from ..plan import BatchEvaluator, BestSoFar
 from .environment import EvalOutcome, StrategyEvaluator
 from .policy import PolicyNetwork, actions_to_strategy
 from .reward import MovingAverageBaseline, compute_reward
@@ -73,6 +73,16 @@ class TrainerConfig:
     use_seeds: bool = True
     # worker processes for strategy evaluation; 1 = serial in-process
     eval_workers: int = 1
+    # winner-safe pruning layers (scheduler candidate-race abort etc.);
+    # never changes any outcome the trainer sees
+    prune: bool = True
+    # opt-in: thread the per-graph best-so-far into rollout evaluation.
+    # OFF by default because it is NOT reward-transparent: a pruned
+    # rollout earns the infeasible penalty instead of -sqrt(T), which
+    # changes the policy-gradient trajectory (and therefore the search
+    # path) relative to an unpruned run.  Enable only when training
+    # throughput matters more than bit-identical training curves.
+    prune_rollouts: bool = False
 
 
 class ReinforceTrainer:
@@ -97,6 +107,11 @@ class ReinforceTrainer:
             {ctx.name: ctx.evaluator.builder for ctx in self.contexts},
             max_workers=config.eval_workers,
         )
+        # per-graph best-so-far trackers (only consulted when the
+        # prune_rollouts opt-in is set; observation is free otherwise)
+        self._best: Dict[str, BestSoFar] = {
+            ctx.name: BestSoFar() for ctx in self.contexts
+        }
         if config.use_seeds:
             for ctx in self.contexts:
                 self._seed_queues[ctx.name] = seed_action_vectors(
@@ -134,9 +149,15 @@ class ReinforceTrainer:
             )
             rollouts.append((ctx, sample, strategy))
         # Phase 2: evaluate the rollout batch (cached + optionally parallel;
-        # bit-identical to evaluating serially in context order).
+        # bit-identical to evaluating serially in context order).  The
+        # best-so-far trackers are threaded only under the
+        # prune_rollouts opt-in (see TrainerConfig).
+        best = (self._best
+                if self.config.prune and self.config.prune_rollouts
+                else None)
         outcomes = self._batch.evaluate_pairs(
-            [(ctx.name, strategy) for ctx, _, strategy in rollouts]
+            [(ctx.name, strategy) for ctx, _, strategy in rollouts],
+            best=best, prune=self.config.prune,
         )
         # Phase 3: rewards, baselines and the policy-gradient loss.
         for (ctx, sample, strategy), outcome in zip(rollouts, outcomes):

@@ -18,8 +18,15 @@ INFEASIBLE_TIME = 1e4
 
 
 def compute_reward(outcome: EvalOutcome) -> float:
-    """R = -sqrt(T); x10 on OOM; large fixed penalty when uncompilable."""
-    if outcome.infeasible:
+    """R = -sqrt(T); x10 on OOM; large fixed penalty when uncompilable.
+
+    A pruned outcome (evaluation aborted because the candidate provably
+    exceeds the best-so-far; only produced under the trainer's
+    ``prune_rollouts`` opt-in) carries ``time=inf`` and takes the same
+    fixed penalty — the true time is unknown but certainly worse than
+    anything already found.
+    """
+    if outcome.infeasible or outcome.pruned:
         return -OOM_PENALTY_FACTOR * math.sqrt(INFEASIBLE_TIME)
     reward = -math.sqrt(max(outcome.time, 0.0))
     if outcome.oom:

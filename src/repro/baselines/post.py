@@ -23,7 +23,7 @@ from ..cluster.topology import Cluster
 from ..graph.dag import ComputationGraph
 from ..graph.grouping import Grouping, group_operations
 from ..parallel.strategy import Strategy
-from ..plan import BatchEvaluator, PlanBuilder
+from ..plan import BatchEvaluator, BestSoFar, PlanBuilder
 from ..profiling.profiler import Profile, Profiler
 
 
@@ -40,8 +40,14 @@ class PostSearch:
 
     def __init__(self, graph: ComputationGraph, cluster: Cluster,
                  profile: Optional[Profile] = None, *, max_groups: int = 60,
-                 seed: int = 0, workers: int = 1):
+                 seed: int = 0, workers: int = 1, prune: bool = True):
         self.graph = graph
+        # branch-and-bound pruning is search-transparent for CEM: a
+        # candidate is only aborted when provably worse than BOTH the
+        # global best AND the round's would-be elite cut (keep=num_elite),
+        # so the elite set, the refit distribution and the final best are
+        # bit-identical to the unpruned search.
+        self.prune = prune
         self.cluster = cluster
         self.profile = profile or Profiler(seed=seed).profile(graph, cluster)
         avg = {op.name: op.flops for op in graph}
@@ -63,13 +69,17 @@ class PostSearch:
         outcome = self.builder.evaluate(strategy)
         return outcome.time if outcome.feasible else float("inf")
 
-    def _evaluate_batch(self, batch: List[np.ndarray]) -> List[float]:
+    def _evaluate_batch(self, batch: List[np.ndarray],
+                        best: Optional[BestSoFar] = None) -> List[float]:
         strategies = [
             actions_to_strategy(self.graph, self.cluster, self.grouping,
                                 draws)
             for draws in batch
         ]
-        outcomes = self.batch_evaluator.evaluate(strategies)
+        outcomes = self.batch_evaluator.evaluate(strategies, best=best,
+                                                 prune=self.prune)
+        # pruned outcomes score inf, same as infeasible ones: they are
+        # provably outside the elite cut, so their exact time is moot
         return [o.time if o.feasible else float("inf") for o in outcomes]
 
     def search(self, rounds: int = 8, samples_per_round: int = 12,
@@ -82,6 +92,10 @@ class PostSearch:
         best_time = float("inf")
         evaluations = 0
         num_elite = max(1, int(samples_per_round * elite_fraction))
+        # global best-so-far spans rounds; each round layers a
+        # keep=num_elite tracker on top so only candidates that can
+        # neither win overall nor make the round's elite set are pruned
+        global_best = BestSoFar() if self.prune else None
         for _ in range(rounds):
             batch: List[np.ndarray] = [
                 np.array([
@@ -89,7 +103,9 @@ class PostSearch:
                 ])
                 for _ in range(samples_per_round)
             ]
-            scores = self._evaluate_batch(batch)
+            round_best = (BestSoFar(keep=num_elite, floor=global_best)
+                          if self.prune else None)
+            scores = self._evaluate_batch(batch, best=round_best)
             evaluations += len(batch)
             for draws, time in zip(batch, scores):
                 if time < best_time:

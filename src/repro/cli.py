@@ -193,6 +193,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
     ctx = ExperimentContext(cluster, seed=args.seed)
     config = bench_agent_config(args.seed)
     config.eval_workers = args.workers
+    config.prune = not args.no_prune
     measured = ctx.run_heterog(graph, episodes=args.episodes,
                                agent_config=config)
     print(f"per-iteration time : {measured.display_time} s")
@@ -362,7 +363,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         PlanRequest(graph=graph, cluster=cluster,
                     episodes=args.episodes + i // max(1, args.duplicates),
                     timeout=args.timeout, config=config,
-                    label=f"serve:{i // max(1, args.duplicates)}")
+                    label=f"serve:{i // max(1, args.duplicates)}",
+                    prune=not args.no_prune)
         for i in range(args.requests * args.duplicates)
     ]
     print(f"serving {len(requests)} requests "
@@ -410,7 +412,8 @@ def cmd_bench_service(args: argparse.Namespace) -> int:
         graph, cluster, duplicates=args.duplicates,
         episodes=args.episodes, workers=args.workers,
         config=HeteroGConfig(seed=args.seed),
-        backend=args.backend, backend_options=_backend_options(args))
+        backend=args.backend, backend_options=_backend_options(args),
+        prune=not args.no_prune)
     for key, value in numbers.items():
         print(f"  {key:26s} {value}")
     if numbers["divergent_results"]:
@@ -583,6 +586,9 @@ def build_parser() -> argparse.ArgumentParser:
                    "(default: 1 = serial; results are identical)")
     p.add_argument("--save", metavar="PATH",
                    help="save the strategy as JSON")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable branch-and-bound candidate pruning "
+                   "(slower; results are identical either way)")
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("baselines", help="measure the DP baselines")
@@ -654,6 +660,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline in seconds")
     p.add_argument("--max-queue", type=int, default=64,
                    help="admission-control queue bound (default: 64)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable branch-and-bound candidate pruning "
+                   "(slower; results are identical either way)")
     _add_backend_args(p)
     p.add_argument("--preset", choices=["tiny", "bench", "paper"],
                    default="bench", help="model scale (default: bench)")
@@ -675,6 +684,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="service worker threads (default: 2)")
     p.add_argument("--episodes", type=int, default=4,
                    help="search episodes per request (default: 4)")
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable branch-and-bound candidate pruning "
+                   "(slower; results are identical either way)")
     _add_backend_args(p)
     p.add_argument("--preset", choices=["tiny", "bench", "paper"],
                    default="tiny", help="model scale (default: tiny)")

@@ -71,7 +71,8 @@ SpeedFn = Callable[[Job, Sequence[str]], float]
 
 
 def cp_ar_speed_fn(cluster: Cluster, seed: int = 0, iterations: int = 2,
-                   service: Optional[PlanningService] = None) -> SpeedFn:
+                   service: Optional[PlanningService] = None,
+                   prune: bool = True) -> SpeedFn:
     """Fast speed oracle: CP-AR data parallelism on the sub-cluster.
 
     A full HeteroG search per candidate allocation is the faithful (but
@@ -102,6 +103,7 @@ def cp_ar_speed_fn(cluster: Cluster, seed: int = 0, iterations: int = 2,
             measure_iterations=iterations,
             config=config,
             label=f"multijob:{job.name}",
+            prune=prune,
         ))
         return result.speed(job.global_batch)
 

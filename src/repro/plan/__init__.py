@@ -22,9 +22,11 @@ from .builder import PlanBuilder
 from .cache import PlanCache
 from .fingerprint import fingerprint_context, fingerprint_strategy
 from .plan import EvalOutcome, ExecutionPlan
+from .pruning import BestSoFar
 
 __all__ = [
     "BatchEvaluator",
+    "BestSoFar",
     "EvalOutcome",
     "ExecutionPlan",
     "PlanBuilder",

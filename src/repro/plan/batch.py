@@ -38,8 +38,13 @@ from ..parallel.serialize import strategy_from_dict, strategy_to_dict
 from ..parallel.strategy import Strategy
 from .builder import PlanBuilder
 from .plan import EvalOutcome
+from .pruning import BestSoFar
 
 DEFAULT_CONTEXT = "default"
+
+#: best-so-far for one batch: a single tracker, or one tracker per
+#: context for mixed-context batches (missing contexts are unpruned)
+BestMap = Union[BestSoFar, Mapping[str, BestSoFar]]
 
 # Per-process evaluation contexts, installed by the pool initializer.
 _WORKER_BUILDERS: Dict[str, PlanBuilder] = {}
@@ -54,11 +59,19 @@ def _init_worker(payloads: Dict[str, tuple]) -> None:
         )
 
 
-def _worker_evaluate(context: str, strategy_dict: dict) -> EvalOutcome:
+def _worker_evaluate(context: str, strategy_dict: dict,
+                     prune_above: Optional[float] = None,
+                     prune: bool = True) -> EvalOutcome:
     builder = _WORKER_BUILDERS[context]
     strategy = strategy_from_dict(strategy_dict, builder.graph,
                                   builder.cluster)
-    return builder.evaluate(strategy)
+    return builder.evaluate(strategy, prune=prune, prune_above=prune_above)
+
+
+def _best_for(best: Optional[BestMap], context: str) -> Optional[BestSoFar]:
+    if best is None or isinstance(best, BestSoFar):
+        return best
+    return best.get(context)
 
 
 class BatchEvaluator:
@@ -79,7 +92,9 @@ class BatchEvaluator:
 
     # ------------------------------------------------------------------ #
     def evaluate(self, strategies: Sequence[Strategy],
-                 context: Optional[str] = None) -> List[EvalOutcome]:
+                 context: Optional[str] = None, *,
+                 best: Optional[BestMap] = None,
+                 prune: bool = True) -> List[EvalOutcome]:
         """Evaluate candidates for one context, preserving input order."""
         if context is None:
             if len(self._builders) != 1:
@@ -87,11 +102,22 @@ class BatchEvaluator:
                     "multiple contexts registered; pass context= explicitly"
                 )
             context = next(iter(self._builders))
-        return self.evaluate_pairs([(context, s) for s in strategies])
+        return self.evaluate_pairs([(context, s) for s in strategies],
+                                   best=best, prune=prune)
 
-    def evaluate_pairs(self, pairs: Sequence[Tuple[str, Strategy]]
-                       ) -> List[EvalOutcome]:
-        """Evaluate (context, strategy) pairs, preserving input order."""
+    def evaluate_pairs(self, pairs: Sequence[Tuple[str, Strategy]], *,
+                       best: Optional[BestMap] = None,
+                       prune: bool = True) -> List[EvalOutcome]:
+        """Evaluate (context, strategy) pairs, preserving input order.
+
+        ``best`` threads the search's :class:`BestSoFar` threshold(s)
+        into every path (serial, private pool, fleet borrow); exact
+        feasible results are observed back into it, each exactly once.
+        The guarantee under pruning is *winner identity*: the candidate
+        an argmin over these outcomes selects — and its outcome — is
+        bit-identical to ``prune=False``; losing candidates may come
+        back as ``pruned`` outcomes instead of full ones.
+        """
         results: List[Optional[EvalOutcome]] = [None] * len(pairs)
         # (context, fingerprint) -> indices awaiting that evaluation
         pending: Dict[Tuple[str, str], List[int]] = {}
@@ -103,7 +129,9 @@ class BatchEvaluator:
             if key in pending:
                 pending[key].append(i)
                 continue
-            cached = builder.outcome_cache.get(fp)
+            tracker = _best_for(best, context) if prune else None
+            limit = builder._prune_limit(tracker, None) if prune else None
+            cached = builder.cached_outcome(fp, limit=limit, best=tracker)
             if cached is not None:
                 results[i] = cached
                 continue
@@ -111,7 +139,7 @@ class BatchEvaluator:
             todo.append((context, strategy, fp))
 
         if todo:
-            outcomes = self._evaluate_unique(todo)
+            outcomes = self._evaluate_unique(todo, best=best, prune=prune)
             for (context, _, fp), outcome in zip(todo, outcomes):
                 self._builders[context].seed_outcome(fp, outcome)
                 for i in pending[(context, fp)]:
@@ -119,27 +147,42 @@ class BatchEvaluator:
         return results  # type: ignore[return-value]
 
     # ------------------------------------------------------------------ #
-    def _evaluate_unique(self, todo: Sequence[Tuple[str, Strategy, str]]
-                         ) -> List[EvalOutcome]:
+    def _evaluate_unique(self, todo: Sequence[Tuple[str, Strategy, str]], *,
+                         best: Optional[BestMap] = None,
+                         prune: bool = True) -> List[EvalOutcome]:
         if self.max_workers == 1 or len(todo) == 1:
-            return self._evaluate_serial(todo)
-        borrowed = self._evaluate_on_fleet(todo)
+            return self._evaluate_serial(todo, best=best, prune=prune)
+        borrowed = self._evaluate_on_fleet(todo, best=best, prune=prune)
         if borrowed is not None:
             return borrowed
         try:
             pool = self._ensure_pool()
-            futures = [
-                pool.submit(_worker_evaluate, context,
-                            strategy_to_dict(strategy))
-                for context, strategy, _ in todo
-            ]
-            return [f.result() for f in futures]
+            # pool workers cannot share the tracker object, so each task
+            # carries a float snapshot of the threshold at submit time;
+            # results are observed back here (the workers never do)
+            futures = []
+            for context, strategy, _ in todo:
+                tracker = _best_for(best, context) if prune else None
+                limit = (self._builders[context]._prune_limit(tracker, None)
+                         if prune else None)
+                futures.append(pool.submit(
+                    _worker_evaluate, context, strategy_to_dict(strategy),
+                    limit, prune))
+            outcomes = [f.result() for f in futures]
         except (OSError, RuntimeError, BrokenProcessPool):
             # restricted environments (no /dev/shm, fork disabled, ...)
             self.close()
-            return self._evaluate_serial(todo)
+            return self._evaluate_serial(todo, best=best, prune=prune)
+        if best is not None and prune:
+            for (context, _, _), outcome in zip(todo, outcomes):
+                tracker = _best_for(best, context)
+                if tracker is not None and outcome.feasible:
+                    tracker.observe(outcome.time)
+        return outcomes
 
-    def _evaluate_on_fleet(self, todo: Sequence[Tuple[str, Strategy, str]]
+    def _evaluate_on_fleet(self, todo: Sequence[Tuple[str, Strategy, str]],
+                           *, best: Optional[BestMap] = None,
+                           prune: bool = True
                            ) -> Optional[List[EvalOutcome]]:
         """Borrow a live planning-fleet's workers, if one is running.
 
@@ -165,14 +208,26 @@ class BatchEvaluator:
         }
         items = [(context, strategy_to_dict(strategy))
                  for context, strategy, _ in todo]
+        trackers: Optional[Dict[str, BestSoFar]] = None
+        if prune and best is not None:
+            trackers = {}
+            for name in used:
+                tracker = _best_for(best, name)
+                if tracker is not None:
+                    trackers[name] = tracker
+            trackers = trackers or None
         try:
-            return fleet.evaluate_batch(payloads, digests, items)
+            return fleet.evaluate_batch(payloads, digests, items,
+                                        best=trackers, prune=prune)
         except ReproError:
             return None
 
-    def _evaluate_serial(self, todo: Sequence[Tuple[str, Strategy, str]]
-                         ) -> List[EvalOutcome]:
-        return [self._builders[context].evaluate(strategy)
+    def _evaluate_serial(self, todo: Sequence[Tuple[str, Strategy, str]], *,
+                         best: Optional[BestMap] = None,
+                         prune: bool = True) -> List[EvalOutcome]:
+        return [self._builders[context].evaluate(
+                    strategy, best=_best_for(best, context) if prune else None,
+                    prune=prune)
                 for context, strategy, _ in todo]
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:

@@ -25,11 +25,12 @@ from ..profiling.profiler import Profile, Profiler
 from ..scheduling.list_scheduler import FifoScheduler, ListScheduler
 from ..simulation.costs import ProfileCostModel
 from ..simulation.engine import Simulator
-from ..simulation.kernel import lower
+from ..simulation.kernel import kernel_lower_bound, lower
 from ..simulation.metrics import SimulationResult
 from .cache import PlanCache
 from .fingerprint import fingerprint_context, fingerprint_strategy
 from .plan import EvalOutcome, ExecutionPlan
+from .pruning import BestSoFar
 
 DEFAULT_PLAN_CACHE = 64
 DEFAULT_OUTCOME_CACHE = 4096
@@ -64,6 +65,9 @@ class PlanBuilder:
         )
         self._plans = PlanCache(plan_cache_size, kind="plan")
         self._outcomes = PlanCache(outcome_cache_size, kind="outcome")
+        # pruning observability: evaluate() calls vs pruned outcomes
+        self.evals_total = 0
+        self.evals_pruned = 0
 
     # ------------------------------------------------------------------ #
     def fingerprint(self, strategy: Strategy) -> str:
@@ -92,25 +96,55 @@ class PlanBuilder:
         return dist, compiler.resident_bytes
 
     def build(self, strategy: Strategy,
-              fingerprint: Optional[str] = None) -> ExecutionPlan:
+              fingerprint: Optional[str] = None,
+              prune: bool = True) -> ExecutionPlan:
         """Compile + schedule ``strategy`` into a cached ExecutionPlan.
 
         Raises :class:`CompileError` when the strategy cannot be
         compiled (``evaluate`` turns that into an infeasible outcome).
+        ``prune=False`` disables the scheduler's internal candidate-race
+        pruning (the built plan is bit-identical either way).
         """
         fp = fingerprint or self.fingerprint(strategy)
+        plan, _ = self._build_or_prune(strategy, fp, limit=None, prune=prune)
+        return plan
+
+    def _build_or_prune(self, strategy: Strategy, fp: str, *,
+                        limit: Optional[float], prune: bool
+                        ) -> "tuple[Optional[ExecutionPlan], Optional[EvalOutcome]]":
+        """Build a plan, or stop early once it provably loses the race.
+
+        Returns ``(plan, None)`` on a full build and ``(None, outcome)``
+        when the candidate was pruned — either by the static
+        :func:`kernel_lower_bound` before any simulation, or because
+        both candidate-order simulations exceeded ``limit``.  Pruned
+        builds are never installed in the plan cache (their schedule is
+        partial); a cached plan is always served as-is.
+        """
         cached = self._plans.get(fp)
         if cached is not None:
-            return cached
+            return cached, None
         with telemetry.span("plan.build", graph=self.graph.name):
             dist, resident = self.compile(strategy)
             # one array lowering serves ranking, both candidate-order
             # simulations, and every later simulation of the cached plan
             kernel = lower(dist)
+            if limit is not None:
+                bound = kernel_lower_bound(kernel, self.cost)
+                if bound is not None and bound > limit:
+                    return None, self._pruned_outcome(
+                        stage="bound", bound=bound, threshold=limit,
+                        dist_ops=len(dist))
             schedule = self._scheduler.schedule(
                 dist, self.cost, kernel=kernel,
                 resident_bytes=resident, capacities=self.capacities,
+                prune_above=limit, prune=prune,
             )
+            sim = schedule.sim_result
+            if sim is not None and sim.pruned:
+                return None, self._pruned_outcome(
+                    stage="midsim", bound=sim.makespan, threshold=limit,
+                    dist_ops=len(dist))
             plan = ExecutionPlan(
                 graph=self.graph, cluster=self.cluster, strategy=strategy,
                 dist=dist, schedule=schedule, resident_bytes=resident,
@@ -119,20 +153,37 @@ class PlanBuilder:
                 sim_result=schedule.sim_result,
             )
         self._plans.put(fp, plan)
-        return plan
+        return plan, None
+
+    def _pruned_outcome(self, *, stage: str, bound: float,
+                        threshold: Optional[float],
+                        dist_ops: int) -> EvalOutcome:
+        telemetry.emit_count(
+            "plan_pruned_total", labels={"stage": stage},
+            help="candidates pruned against the best-so-far, by stage")
+        record_event("candidate_pruned", stage=stage, bound=bound,
+                     threshold=threshold)
+        return EvalOutcome(time=float("inf"), oom=False, result=None,
+                           dist_ops=dist_ops, pruned=True, bound=bound,
+                           prune_stage=stage)
 
     # ------------------------------------------------------------------ #
     def simulate(self, plan: ExecutionPlan, *,
-                 trace: bool = False) -> SimulationResult:
+                 trace: bool = False,
+                 prune_above: Optional[float] = None) -> SimulationResult:
         """Run the Strategy Maker's simulator over a plan.
 
         Plans built by this builder already carry the chosen order's
         simulation (``plan.sim_result``); call this only to re-simulate,
-        e.g. after mutating the dist graph.
+        e.g. after mutating the dist graph.  ``prune_above`` aborts the
+        run once the simulated clock exceeds it (deterministic cost
+        providers only) and returns a partial, ``pruned`` result.
         """
         kernel = plan.kernel
         if kernel is not None and kernel.version != plan.dist.version:
             kernel = None  # dist mutated since build: re-lower
+        if not getattr(self.cost, "deterministic", False):
+            prune_above = None
         return self._simulator.run(
             plan.dist,
             priorities=plan.schedule.priorities,
@@ -140,50 +191,127 @@ class PlanBuilder:
             capacities=dict(plan.capacities),
             trace=trace,
             kernel=kernel,
+            prune_above=prune_above,
         )
 
     def evaluate(self, strategy: Strategy, *,
-                 trace: bool = False) -> EvalOutcome:
-        """Full evaluation with outcome memoization.
+                 trace: bool = False,
+                 best: Optional[BestSoFar] = None,
+                 prune: bool = True,
+                 prune_above: Optional[float] = None) -> EvalOutcome:
+        """Full evaluation with outcome memoization and pruning.
 
         Infeasible and OOM outcomes are cached like feasible ones: a
         strategy that failed to compile or overflowed memory is never
         rebuilt or re-simulated.  ``trace=True`` bypasses the outcome
         cache (the traced schedule is not retained in cached outcomes)
         but still reuses the plan cache.
+
+        ``best`` / ``prune_above`` supply the branch-and-bound
+        threshold: a candidate whose makespan provably exceeds it is cut
+        short (static lower bound before any simulation, cooperative
+        abort inside it) and returned as a ``pruned`` outcome — the
+        surviving winner is bit-identical to an unpruned search.  Exact
+        feasible results are observed back into ``best`` so the
+        threshold tightens as the search progresses.  ``prune=False``
+        disables every pruning layer (the ``--no-prune`` escape hatch).
         """
         fp = self.fingerprint(strategy)
+        limit = self._prune_limit(best, prune_above) if prune else None
+        if trace:
+            limit = None
+        self.evals_total += 1
         if not trace:
-            cached = self._outcomes.get(fp)
+            cached = self.cached_outcome(fp, limit=limit, best=best)
             if cached is not None:
-                record_event("candidate_evaluated", feasible=cached.feasible,
-                             time=cached.time, cached=True)
                 return cached
-        outcome = self._evaluate_fresh(strategy, fp, trace=trace)
-        if not trace:
+        outcome = self._evaluate_fresh(strategy, fp, trace=trace,
+                                       limit=limit, prune=prune)
+        if not trace and (not outcome.pruned
+                          or outcome.prune_stage == "bound"):
+            # mid-sim-pruned outcomes are threshold-dependent (the
+            # partial clock depends on where the abort landed) and are
+            # never cached; the static bound is a property of the
+            # candidate alone and is safe to keep
             self._outcomes.put(fp, outcome)
+        if outcome.pruned:
+            self.evals_pruned += 1
+            self._observe_pruned_fraction()
+        elif best is not None and outcome.feasible:
+            best.observe(outcome.time)
         record_event("candidate_evaluated", feasible=outcome.feasible,
                      time=outcome.time, cached=False)
         return outcome
 
+    def cached_outcome(self, fp: str, *,
+                       limit: Optional[float] = None,
+                       best: Optional[BestSoFar] = None
+                       ) -> Optional[EvalOutcome]:
+        """Prune-aware outcome-cache lookup.
+
+        Exact cached outcomes are always served.  A cached *pruned*
+        outcome is only served when its recorded lower bound still
+        exceeds the caller's current threshold (true time >= bound >
+        limit, so the candidate would be pruned again); under a looser
+        or absent threshold it is a cache miss — the caller must
+        re-evaluate, since the candidate might now be the winner.
+        """
+        cached = self._outcomes.get(fp)
+        if cached is None:
+            return None
+        if cached.pruned:
+            if (limit is None or cached.bound is None
+                    or not cached.bound > limit):
+                return None
+            self.evals_pruned += 1
+            self._observe_pruned_fraction()
+        elif best is not None and cached.feasible:
+            best.observe(cached.time)
+        record_event("candidate_evaluated", feasible=cached.feasible,
+                     time=cached.time, cached=True)
+        return cached
+
+    def _prune_limit(self, best: Optional[BestSoFar],
+                     prune_above: Optional[float]) -> Optional[float]:
+        limit = float("inf") if prune_above is None else prune_above
+        if best is not None:
+            threshold = best.threshold()
+            if threshold < limit:
+                limit = threshold
+        return None if limit == float("inf") else limit
+
+    def _observe_pruned_fraction(self) -> None:
+        telemetry.emit_gauge(
+            "plan_pruned_fraction",
+            self.evals_pruned / self.evals_total,
+            help="fraction of candidate evaluations pruned (this builder)")
+
     def _evaluate_fresh(self, strategy: Strategy, fp: str, *,
-                        trace: bool) -> EvalOutcome:
+                        trace: bool, limit: Optional[float] = None,
+                        prune: bool = True) -> EvalOutcome:
         try:
-            plan = self.build(strategy, fingerprint=fp)
+            plan, pruned = self._build_or_prune(strategy, fp, limit=limit,
+                                                prune=prune)
         except CompileError:
             return EvalOutcome(time=float("inf"), oom=False, result=None,
                                dist_ops=0, infeasible=True)
+        if pruned is not None:
+            return pruned
         # single-pass scheduling: the winner of the scheduler's candidate
         # race was already simulated (traced, under this plan's resident
         # bytes and capacities) — reuse it instead of a third simulation
         result = plan.sim_result
         if result is None:
             try:
-                result = self.simulate(plan, trace=trace)
+                result = self.simulate(plan, trace=trace, prune_above=limit)
             except SimulationError:
                 return EvalOutcome(time=float("inf"), oom=False, result=None,
                                    dist_ops=plan.num_dist_ops,
                                    infeasible=True)
+            if result.pruned:
+                return self._pruned_outcome(
+                    stage="midsim", bound=result.makespan, threshold=limit,
+                    dist_ops=plan.num_dist_ops)
         return EvalOutcome(
             time=result.makespan,
             oom=result.oom,
@@ -194,5 +322,12 @@ class PlanBuilder:
     # ------------------------------------------------------------------ #
     def seed_outcome(self, fingerprint: str, outcome: EvalOutcome) -> None:
         """Install an externally-computed outcome (e.g. from a worker
-        process) so later evaluations of the same strategy hit the cache."""
+        process) so later evaluations of the same strategy hit the cache.
+
+        Mid-sim-pruned outcomes are threshold-dependent and are never
+        installed; static bound-pruned ones are (the bound is a property
+        of the candidate and :meth:`cached_outcome` re-checks it against
+        the serving threshold)."""
+        if outcome.pruned and outcome.prune_stage != "bound":
+            return
         self._outcomes.put(fingerprint, outcome)

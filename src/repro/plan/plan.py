@@ -58,14 +58,26 @@ class ExecutionPlan:
 
 @dataclass
 class EvalOutcome:
-    """Result of evaluating one strategy in the simulator."""
+    """Result of evaluating one strategy in the simulator.
+
+    A *pruned* outcome means evaluation was cut short because the
+    candidate provably cannot beat the caller's best-so-far threshold:
+    ``bound`` is an admissible lower bound on its true makespan (the
+    static ``kernel_lower_bound`` for ``prune_stage="bound"``, the
+    partial simulated clock for ``prune_stage="midsim"``), ``time`` is
+    ``inf`` and ``feasible`` is False, so no argmin consumer can ever
+    select it.
+    """
 
     time: float                  # simulated per-iteration seconds
     oom: bool
     result: Optional[SimulationResult]
     dist_ops: int
     infeasible: bool = False    # compile/simulate failed outright
+    pruned: bool = False        # evaluation aborted against best-so-far
+    bound: Optional[float] = None   # lower bound on the true makespan
+    prune_stage: Optional[str] = None  # "bound" | "midsim"
 
     @property
     def feasible(self) -> bool:
-        return not (self.oom or self.infeasible)
+        return not (self.oom or self.infeasible or self.pruned)

@@ -98,7 +98,9 @@ class ListScheduler:
     def schedule(self, graph: DistGraph, cost: CostProvider, *,
                  kernel: Optional[SimKernel] = None,
                  resident_bytes: Optional[Dict[str, int]] = None,
-                 capacities: Optional[Dict[str, int]] = None) -> Schedule:
+                 capacities: Optional[Dict[str, int]] = None,
+                 prune_above: Optional[float] = None,
+                 prune: bool = True) -> Schedule:
         """Choose the better of the two candidate orders.
 
         ``kernel`` reuses an existing lowering (otherwise taken from the
@@ -106,11 +108,25 @@ class ListScheduler:
         given, the candidate simulations account memory under them and
         the winner's result — returned as ``Schedule.sim_result`` — is a
         full evaluation of the chosen order.
+
+        ``prune_above`` aborts both candidate simulations once they
+        exceed the caller's best-so-far: when *both* abort, the returned
+        Schedule carries a ``pruned`` sim_result whose makespan is a
+        lower bound on this strategy's winner (the plan layer turns that
+        into a pruned outcome).  Independently, the ``earliest``
+        candidate is always raced against the completed ``rank``
+        makespan — an earliest run that exceeds it has already lost the
+        ``<=`` tie-break, so aborting there returns the identical
+        winner.  Both prunings apply only under deterministic cost
+        providers (a stochastic provider's RNG draw sequence must not
+        depend on pruning) and ``prune=False`` disables them outright.
         """
         from ..simulation.engine import Simulator  # local: avoid cycle
         tel = telemetry.active()
         kernel = kernel if kernel is not None else lower(graph)
         simulator = Simulator(cost)
+        can_prune = prune and getattr(cost, "deterministic", False)
+        limit = prune_above if can_prune else None
         with telemetry.span("schedule.ranking", graph=graph.name):
             rank_start = time.perf_counter()
             rank_priorities, ranks, prio_arr = self._rank_priorities(
@@ -121,14 +137,40 @@ class ListScheduler:
             rank_run = simulator.run(graph, priorities=rank_priorities,
                                      resident_bytes=resident_bytes,
                                      capacities=capacities, trace=True,
-                                     kernel=kernel, _prio_ids=prio_arr)
+                                     kernel=kernel, prune_above=limit,
+                                     _prio_ids=prio_arr)
+            # a completed rank run's makespan is itself a prune
+            # threshold for the earliest candidate: rank wins ties, so
+            # any earliest run that exceeds it has already lost
+            if rank_run.pruned:
+                earliest_limit = limit
+            elif can_prune:
+                earliest_limit = rank_run.makespan
+            else:
+                earliest_limit = None
             earliest_run = simulator.run(graph, priorities=None,
                                          resident_bytes=resident_bytes,
                                          capacities=capacities, trace=True,
-                                         kernel=kernel)
+                                         kernel=kernel,
+                                         prune_above=earliest_limit)
             place_seconds = time.perf_counter() - place_start
-        chosen = ("rank" if rank_run.makespan <= earliest_run.makespan
-                  else "earliest")
+        if rank_run.pruned and earliest_run.pruned:
+            # both candidates exceed the caller's best-so-far: the whole
+            # strategy is out of the race; min of the partial makespans
+            # is a lower bound on whatever the winner would have been
+            pruned_result = (rank_run
+                             if rank_run.makespan <= earliest_run.makespan
+                             else earliest_run)
+            return Schedule(priorities=rank_priorities, ranks=ranks,
+                            estimated_makespan=None, chosen=None,
+                            sim_result=pruned_result)
+        if rank_run.pruned:
+            chosen = "earliest"
+        elif earliest_run.pruned:
+            chosen = "rank"
+        else:
+            chosen = ("rank" if rank_run.makespan <= earliest_run.makespan
+                      else "earliest")
         if tel is not None:
             reg = tel.registry
             reg.histogram("sched_ranking_seconds",
@@ -175,7 +217,11 @@ class FifoScheduler:
                  cost: Optional[CostProvider] = None, *,
                  kernel: Optional[SimKernel] = None,
                  resident_bytes: Optional[Dict[str, int]] = None,
-                 capacities: Optional[Dict[str, int]] = None) -> Schedule:
+                 capacities: Optional[Dict[str, int]] = None,
+                 prune_above: Optional[float] = None,
+                 prune: bool = True) -> Schedule:
+        # prune_above/prune are accepted for scheduler interchangeability
+        # but moot here: FIFO ordering runs no candidate simulations
         if not self.randomize:
             return Schedule(priorities=None)
         rng = np.random.default_rng(self.seed)

@@ -157,7 +157,12 @@ def _worker_evaluate(builders: Dict[str, Any], msg: EvalRequestMessage):
         builder = builders[msg.digests[name]]
         strategy = strategy_from_dict(strategy_dict, builder.graph,
                                       builder.cluster)
-        outcomes.append(builder.evaluate(strategy))
+        # the manager piggybacked its best-so-far at dispatch time; the
+        # threshold stays fixed for the whole chunk (worker-local
+        # tightening would over-prune k-elite searches)
+        outcomes.append(builder.evaluate(
+            strategy, prune=msg.prune,
+            prune_above=msg.prune_above.get(name)))
     return outcomes
 
 
@@ -264,6 +269,10 @@ class _Job:
     event: Optional[threading.Event] = None
     outcomes: Optional[list] = None
     error: Optional[BaseException] = None
+    # shared best-so-far trackers by context name (eval jobs): read at
+    # dispatch time to stamp the chunk's thresholds, written by the
+    # manager loop when exact outcomes come back
+    best: Optional[dict] = None
 
     @property
     def request_id(self) -> str:
@@ -440,7 +449,9 @@ class ProcessFleetBackend(ExecutionBackend):
     # BatchEvaluator borrow path
     def evaluate_batch(self, payloads: Dict[str, tuple],
                        digests: Dict[str, str],
-                       items: List[Tuple[str, dict]]) -> list:
+                       items: List[Tuple[str, dict]], *,
+                       best: Optional[Dict[str, Any]] = None,
+                       prune: bool = True) -> list:
         """Evaluate (context, strategy-dict) pairs on the fleet.
 
         Splits ``items`` into per-worker chunks, dispatches them like
@@ -449,6 +460,12 @@ class ProcessFleetBackend(ExecutionBackend):
         exhausted re-dispatch budget — the caller
         (:class:`~repro.plan.BatchEvaluator`) falls back to its own
         pool/serial path on any :class:`~repro.errors.ReproError`.
+
+        ``best`` maps context names to shared
+        :class:`~repro.plan.pruning.BestSoFar` trackers: each chunk's
+        wire message is stamped with the trackers' thresholds at
+        dispatch time, and exact outcomes are observed back as chunks
+        complete, so later-dispatched chunks prune harder.
         """
         if self._closed or not items:
             if self._closed:
@@ -471,7 +488,10 @@ class ProcessFleetBackend(ExecutionBackend):
                                  if n in used},
                         payloads={n: p for n, p in payloads.items()
                                   if n in used},
-                        items=list(chunk)),
+                        items=list(chunk),
+                        prune=prune),
+                    best=({n: t for n, t in best.items() if n in used}
+                          if prune and best else None),
                     event=threading.Event())
                 self._eval_inbox.append(job)
                 jobs.append(job)
@@ -615,6 +635,15 @@ class ProcessFleetBackend(ExecutionBackend):
             self.service._finish(job.ticket, result=result,
                                  queue_seconds=job.queue_seconds)
         else:
+            if job.best and outcomes:
+                # fold exact results into the shared trackers so chunks
+                # still waiting for a worker dispatch with a tighter
+                # threshold; pruned/infeasible outcomes are never
+                # observed (their time is not exact)
+                for (name, _), outcome in zip(job.message.items, outcomes):
+                    tracker = job.best.get(name)
+                    if tracker is not None and outcome.feasible:
+                        tracker.observe(outcome.time)
             job.outcomes = outcomes
             job.event.set()
         self._update_gauges()
@@ -814,9 +843,20 @@ class ProcessFleetBackend(ExecutionBackend):
                 if eval_msg.digests[name] not in worker.primed
             }
             worker.primed.update(eval_msg.digests.values())
+            # piggyback the current best-so-far per context: chunks
+            # dispatched after earlier ones completed see a tighter
+            # threshold (the trackers are monotonic, so a stale stamp is
+            # merely conservative, never wrong)
+            thresholds: Dict[str, float] = {}
+            if job.best:
+                for name, tracker in job.best.items():
+                    t = tracker.threshold()
+                    if t != float("inf"):
+                        thresholds[name] = t
             msg = EvalRequestMessage(
                 job=eval_msg.job, digests=eval_msg.digests,
-                payloads=needed, items=eval_msg.items)
+                payloads=needed, items=eval_msg.items,
+                prune_above=thresholds, prune=eval_msg.prune)
         try:
             worker.inbox.put(msg.to_wire())
         except (OSError, ValueError):

@@ -125,6 +125,10 @@ class PlanContext:
         agent = self.agent
         builder = self.search_builder
         budget = request.budget
+        # the request's --no-prune switch overrides the config default
+        # for this dispatch (serialized under the context lock)
+        prune = bool(request.prune and self.config.agent.prune)
+        agent.trainer.config.prune = prune
         outcome: Optional[EvalOutcome] = None
         strategy: Optional[Strategy] = None
         ran = 0
@@ -139,7 +143,7 @@ class PlanContext:
                 strategy = agent.trainer.best_strategy(self.graph.name)
                 if strategy is None:
                     continue
-                outcome = builder.evaluate(strategy)
+                outcome = builder.evaluate(strategy, prune=prune)
                 if outcome.feasible:
                     break
         if outcome is None or not outcome.feasible:
@@ -164,7 +168,10 @@ class PlanContext:
     def _build(self, request: PlanRequest) -> Served:
         """Build (and optionally engine-measure) an explicit strategy."""
         builder = self.builder
-        outcome = builder.evaluate(request.strategy)
+        outcome = builder.evaluate(
+            request.strategy,
+            prune=bool(request.prune and self.config.agent.prune),
+        )
         deployment: Optional[Deployment] = None
         if not outcome.infeasible:
             with telemetry.span("pipeline.schedule", graph=self.graph.name):

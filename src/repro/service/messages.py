@@ -44,7 +44,9 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..errors import FleetProtocolError
 
-WIRE_VERSION = 1
+# v2: EvalRequestMessage grew the best-so-far piggyback fields
+# (``prune_above`` per-context thresholds + the ``prune`` escape hatch)
+WIRE_VERSION = 2
 
 _WIRE_FIELDS = ("v", "type")
 
@@ -134,6 +136,11 @@ class EvalRequestMessage(Message):
     ``digests`` names the builder context(s) the chunk needs;
     ``payloads`` carries the (graph, cluster, profile, flags) tuples
     only for contexts the manager has not yet primed on this worker.
+
+    ``prune_above`` piggybacks the manager's best-so-far per context at
+    dispatch time: the worker prunes candidates that provably exceed
+    the threshold for their context (missing contexts are evaluated in
+    full).  ``prune=False`` disables worker-side pruning outright.
     """
 
     TYPE = "eval_request"
@@ -142,6 +149,8 @@ class EvalRequestMessage(Message):
     digests: Dict[str, str] = field(default_factory=dict)
     payloads: Dict[str, tuple] = field(default_factory=dict)
     items: List[Tuple[str, dict]] = field(default_factory=list)
+    prune_above: Dict[str, float] = field(default_factory=dict)
+    prune: bool = True
 
 
 @_register

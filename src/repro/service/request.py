@@ -47,12 +47,16 @@ def _config_payload(config: HeteroGConfig) -> Any:
     The agent's ``seed`` and ``use_order_scheduling`` are overridden by
     the request (see :class:`~repro.service.context.PlanContext`), and
     ``eval_workers`` never changes results (parallel evaluation is
-    bit-identical to serial), so none of them splits contexts.
+    bit-identical to serial), so none of them splits contexts.  The
+    winner-safe ``prune`` flag is likewise result-transparent and does
+    not split contexts; ``prune_rollouts`` (which changes training
+    trajectories) stays in the payload.
     """
     agent = dataclasses.asdict(config.agent)
     agent.pop("seed", None)
     agent.pop("use_order_scheduling", None)
     agent.pop("eval_workers", None)
+    agent.pop("prune", None)
     return {
         "seed": config.seed,
         "profile_noise_sigma": config.profile_noise_sigma,
@@ -81,6 +85,11 @@ class PlanRequest:
     priority: int = 0                # higher is served first
     timeout: Optional[float] = None  # seconds (queue wait + service)
     use_order_scheduling: bool = True
+    # branch-and-bound candidate pruning (winner-safe; False forces the
+    # full unpruned evaluation — the ``--no-prune`` A/B switch).  It IS
+    # fingerprinted so a pruned and an unpruned request never coalesce,
+    # keeping --no-prune timings honest.
+    prune: bool = True
     config: Optional[HeteroGConfig] = None
     label: str = ""                  # client tag (not fingerprinted)
     request_id: str = ""             # correlation id (auto-assigned)
@@ -180,6 +189,7 @@ class PlanRequest:
                 "context": self.context_key,
                 "mode": mode,
                 "measure": self.measure_iterations or 0,
+                "prune": bool(self.prune),
             })
             object.__setattr__(self, "_fingerprint", cached)
         return cached

@@ -67,6 +67,7 @@ class Simulator:
         strict: bool = False,
         kernel: Optional[SimKernel] = None,
         engine: str = "kernel",
+        prune_above: Optional[float] = None,
         _prio_ids: Optional[List[int]] = None,
     ) -> SimulationResult:
         """Simulate one iteration.
@@ -86,6 +87,18 @@ class Simulator:
         selects the original dict-based loop instead (golden oracle; it
         ignores ``kernel``).
 
+        ``prune_above``: cooperative mid-simulation pruning.  The event
+        loop aborts as soon as it can prove the makespan strictly
+        exceeds this threshold — either the simulated clock itself
+        passes it, or a completing op's downstream chain
+        (:meth:`SimKernel.tails_for`) pushes ``now + tail`` past it,
+        which fires long before the clock does on a losing schedule —
+        and returns a partial result with ``pruned=True`` whose
+        ``makespan`` is a lower bound on the true one.  Callers must
+        only pass it for deterministic cost providers — aborting early
+        under a stochastic provider would change the jitter RNG draw
+        sequence of later runs.
+
         ``_prio_ids`` (internal): ``priorities`` already lowered to a
         per-op-index list that is a permutation of ``range(n)`` — the
         scheduler passes its freshly computed order this way so the
@@ -104,6 +117,7 @@ class Simulator:
                                   capacities=capacities, trace=trace,
                                   strict=strict, kernel=kernel,
                                   engine=engine, tel=None,
+                                  prune_above=prune_above,
                                   prio_ids=_prio_ids)
         with tel.span("simulate", graph=graph.name, ops=len(graph)):
             return self._dispatch(graph, priorities=priorities,
@@ -111,19 +125,22 @@ class Simulator:
                                   capacities=capacities, trace=trace,
                                   strict=strict, kernel=kernel,
                                   engine=engine, tel=tel,
+                                  prune_above=prune_above,
                                   prio_ids=_prio_ids)
 
     def _dispatch(self, graph, *, priorities, resident_bytes, capacities,
-                  trace, strict, kernel, engine, tel, prio_ids=None):
+                  trace, strict, kernel, engine, tel, prune_above=None,
+                  prio_ids=None):
         if engine == "reference":
             return self._run_reference(
                 graph, priorities=priorities, resident_bytes=resident_bytes,
-                capacities=capacities, trace=trace, strict=strict, tel=tel)
+                capacities=capacities, trace=trace, strict=strict, tel=tel,
+                prune_above=prune_above)
         return self._run_kernel(
             graph, kernel if kernel is not None else lower(graph),
             priorities=priorities, resident_bytes=resident_bytes,
             capacities=capacities, trace=trace, strict=strict, tel=tel,
-            prio_ids=prio_ids)
+            prune_above=prune_above, prio_ids=prio_ids)
 
     # ------------------------------------------------------------------ #
     # kernel engine: integer-indexed arrays, one lowering per graph
@@ -139,11 +156,14 @@ class Simulator:
         trace: bool,
         strict: bool,
         tel: Optional["telemetry.Telemetry"],
+        prune_above: Optional[float] = None,
         prio_ids: Optional[List[int]] = None,
     ) -> SimulationResult:
         if strict and priorities is None:
             raise SimulationError("strict mode requires explicit priorities")
         wall_start = time.perf_counter() if tel is not None else 0.0
+        prune_limit = float("inf") if prune_above is None else prune_above
+        was_pruned = False
 
         n = kernel.n
         names = kernel.names
@@ -178,6 +198,12 @@ class Simulator:
 
         durations = kernel.durations_for(self.cost)
         cost_duration = self.cost.duration
+        # tail-based abort: once op i completes at t, the makespan is at
+        # least t + tails[i] (its downstream chain must still run), so a
+        # losing simulation is detected long before the clock itself
+        # crosses the threshold.  Only priced for deterministic costs.
+        tails = (kernel.tails_for(self.cost)
+                 if prune_above is not None else None)
 
         # strict mode: per-resource queues in priority order; an op may only
         # start while it is at the head of every one of its resource queues
@@ -373,6 +399,19 @@ class Simulator:
         heappop = heapq.heappop
         while completions:
             now, _, i = heappop(completions)
+            if now > prune_limit:
+                # cooperative abort: every remaining completion is at or
+                # after ``now``, so the true makespan strictly exceeds
+                # the threshold and ``now`` is an admissible lower bound
+                was_pruned = True
+                break
+            if tails is not None and now + tails[i] > prune_limit:
+                # ``i``'s downstream chain alone pushes the makespan past
+                # the threshold; report the violated bound as the partial
+                # makespan (still admissible, strictly tighter than now)
+                was_pruned = True
+                now += tails[i]
+                break
             finished[i] = now
             executed += 1
             # memory on finish: release one reference on each input; a
@@ -430,7 +469,7 @@ class Simulator:
                 if queue:
                     drain_waiters(r, queue)
 
-        if executed != n:
+        if executed != n and not was_pruned:
             stuck = [names[i] for i in range(n) if pending[i] > 0][:5]
             waiting_named = [names[i] for i in wait_order
                              if in_wait_queue[i]][:5]
@@ -458,6 +497,7 @@ class Simulator:
                 if run_dev_names[ri] in capacities
                 and mem_peak[ri] > capacities[run_dev_names[ri]]
             ],
+            pruned=was_pruned,
         )
         if trace:
             # dict(zip(...)) keeps the iteration in C; insertion order is
@@ -485,10 +525,13 @@ class Simulator:
         trace: bool,
         strict: bool,
         tel: Optional["telemetry.Telemetry"],
+        prune_above: Optional[float] = None,
     ) -> SimulationResult:
         if strict and priorities is None:
             raise SimulationError("strict mode requires explicit priorities")
         wall_start = time.perf_counter() if tel is not None else 0.0
+        prune_limit = float("inf") if prune_above is None else prune_above
+        was_pruned = False
 
         ops: Dict[str, DistOp] = {name: graph.op(name)
                                   for name in graph.op_names}
@@ -525,6 +568,27 @@ class Simulator:
 
             def advance_heads(name: str) -> None:  # noqa: ARG001
                 return None
+
+        # tail-based abort mirror of the kernel engine: same recursion,
+        # same float accumulation order (successor list order), so pruned
+        # partial results stay bit-identical across engines
+        tails: Optional[Dict[str, float]] = None
+        if (prune_above is not None
+                and getattr(self.cost, "deterministic", False)):
+            try:
+                order = graph.topological_order()
+            except Exception:
+                order = None  # cyclic: deadlock detection handles it
+            if order is not None:
+                tails = {}
+                duration_of = self.cost.duration
+                for name in reversed(order):
+                    tail = 0.0
+                    for s in graph.successors(name):
+                        t = duration_of(ops[s]) + tails[s]
+                        if t > tail:
+                            tail = t
+                    tails[name] = tail
 
         memory = MemoryTracker(graph, resident_bytes or {})
         use_fifo = priorities is None
@@ -628,6 +692,13 @@ class Simulator:
         total = len(ops)
         while completions:
             now, _, name = heapq.heappop(completions)
+            if now > prune_limit:
+                was_pruned = True
+                break
+            if tails is not None and now + tails[name] > prune_limit:
+                was_pruned = True
+                now += tails[name]
+                break
             op = ops[name]
             finished[name] = now
             executed += 1
@@ -659,7 +730,7 @@ class Simulator:
             for r in resources_of[name]:
                 release_resource(r)
 
-        if executed != total:
+        if executed != total and not was_pruned:
             stuck = [n for n, d in pending_deps.items() if d > 0][:5]
             waiting_named = [n for n, w in in_wait_queue.items() if w][:5]
             raise SimulationError(
@@ -678,10 +749,11 @@ class Simulator:
             computation_wall=union_length(compute_intervals),
             peak_memory=dict(memory.peak),
             oom_devices=memory.oom_devices(capacities),
+            pruned=was_pruned,
         )
         if trace:
             result.schedule = {
-                n: (started[n], finished[n]) for n in started
+                n: (started[n], finished.get(n, 0.0)) for n in started
             }
         if tel is not None:
             self._observe_run(tel, executed, now, wall_start)

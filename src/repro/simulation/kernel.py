@@ -55,7 +55,8 @@ class SimKernel:
         "resource_names", "res_ids", "is_link",
         "is_compute", "is_comm", "kind_values",
         "charge_dev", "out_bytes", "mem_dev_names", "mem_dev_index",
-        "topo", "has_cycle", "_dur_cache",
+        "topo", "has_cycle", "_dur_cache", "_topo_pos", "_bound_cache",
+        "_tail_cache",
     )
 
     def __init__(self, graph: DistGraph):
@@ -227,6 +228,13 @@ class SimKernel:
 
         # cost provider -> per-op duration array (deterministic providers)
         self._dur_cache: Dict[int, Tuple[CostProvider, List[float]]] = {}
+        # op index -> topo position, built on first use (the kernel is an
+        # immutable snapshot, so no further invalidation is needed)
+        self._topo_pos: Optional[List[int]] = None
+        # cost provider -> admissible makespan lower bound
+        self._bound_cache: Dict[int, Tuple[CostProvider, float]] = {}
+        # cost provider -> per-op downstream-chain durations (tails)
+        self._tail_cache: Dict[int, Tuple[CostProvider, List[float]]] = {}
 
     # ------------------------------------------------------------------ #
     def durations_for(self, cost: CostProvider) -> Optional[List[float]]:
@@ -248,11 +256,46 @@ class SimKernel:
         self._dur_cache[key] = (cost, durations)
         return durations
 
+    def tails_for(self, cost: CostProvider) -> Optional[List[float]]:
+        """Per-op *exclusive tail*: the duration-weighted longest chain of
+        successors that must still execute after the op finishes.
+
+        ``tail[i] = max over succ s of (dur[s] + tail[s])`` (0 at sinks).
+        Whatever the schedule, once op ``i`` completes at time ``t`` the
+        makespan is at least ``t + tail[i]`` — the engine's mid-simulation
+        abort and :func:`kernel_lower_bound` both build on this array.
+        ``None`` for stochastic cost providers (same contract and caching
+        discipline as :meth:`durations_for`).
+        """
+        durations = self.durations_for(cost)
+        if durations is None:
+            return None
+        key = id(cost)
+        entry = self._tail_cache.get(key)
+        if entry is not None and entry[0] is cost:
+            return entry[1]
+        succ_of = self.succ
+        tails = [0.0] * self.n
+        for i in reversed(self.topo):
+            tail = 0.0
+            for s in succ_of[i]:
+                t = durations[s] + tails[s]
+                if t > tail:
+                    tail = t
+            tails[i] = tail
+        if len(self._tail_cache) >= _DURATION_CACHE_SLOTS:
+            self._tail_cache.clear()
+        self._tail_cache[key] = (cost, tails)
+        return tails
+
     def topo_positions(self) -> List[int]:
-        """Op index -> position in the topological order."""
-        pos = [0] * self.n
-        for p, i in enumerate(self.topo):
-            pos[i] = p
+        """Op index -> position in the topological order (memoized)."""
+        pos = self._topo_pos
+        if pos is None:
+            pos = [0] * self.n
+            for p, i in enumerate(self.topo):
+                pos[i] = p
+            self._topo_pos = pos
         return pos
 
     def __len__(self) -> int:
@@ -261,6 +304,59 @@ class SimKernel:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"SimKernel({self.graph.name!r}, {self.n} ops, "
                 f"{len(self.resource_names)} resources)")
+
+
+def kernel_lower_bound(kernel: SimKernel,
+                       cost: CostProvider) -> Optional[float]:
+    """Admissible makespan lower bound for ``kernel`` under ``cost``.
+
+    The bound is the max of two quantities no schedule can beat:
+
+    - the **critical path**: the longest duration-weighted path through
+      the precedence DAG (raw durations, no comm-weight inflation);
+    - the **busiest resource**: for each device, link and token, the sum
+      of durations of every op that holds it — ops hold all their
+      resources exclusively for their whole duration, so this is
+      per-device assigned work / throughput and per-link bytes /
+      bandwidth in one pass.
+
+    Returns ``None`` for stochastic cost providers: pricing the graph
+    would consume jitter RNG draws and perturb later simulations, and a
+    jittered "bound" would not be admissible anyway.  The bound is
+    cached per (kernel, provider) like the duration arrays.
+    """
+    durations = kernel.durations_for(cost)
+    if durations is None:
+        return None
+    key = id(cost)
+    entry = kernel._bound_cache.get(key)
+    if entry is not None and entry[0] is cost:
+        return entry[1]
+
+    # longest path: dur[i] + exclusive tail, maximized over all ops (the
+    # tails array is shared with the engine's mid-simulation abort)
+    tails = kernel.tails_for(cost)
+    best = 0.0
+    for i in range(kernel.n):
+        total = durations[i] + tails[i]
+        if total > best:
+            best = total
+
+    # busiest exclusive resource
+    res_busy = [0.0] * len(kernel.resource_names)
+    for i, rids in enumerate(kernel.res_ids):
+        d = durations[i]
+        for r in rids:
+            res_busy[r] += d
+    if res_busy:
+        busiest = max(res_busy)
+        if busiest > best:
+            best = busiest
+
+    if len(kernel._bound_cache) >= _DURATION_CACHE_SLOTS:
+        kernel._bound_cache.clear()
+    kernel._bound_cache[key] = (cost, best)
+    return best
 
 
 def lower(graph: DistGraph) -> SimKernel:

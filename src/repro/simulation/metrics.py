@@ -40,6 +40,10 @@ class SimulationResult:
     oom_devices: List[str] = field(default_factory=list)
     # op name -> (start, end); retained only when tracing is requested
     schedule: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    # the run aborted cooperatively after ``makespan`` exceeded the
+    # caller's ``prune_above`` threshold; every other field is partial
+    # and ``makespan`` is a *lower bound* on the true iteration time
+    pruned: bool = False
 
     @property
     def oom(self) -> bool:

@@ -47,6 +47,7 @@ EVENT_SCHEMAS: Dict[str, frozenset] = {
     "context_cold": frozenset({"context"}),
     "search_started": frozenset({"episodes", "max_rounds"}),
     "candidate_evaluated": frozenset({"feasible", "time"}),
+    "candidate_pruned": frozenset({"stage", "bound", "threshold"}),
     "plan_built": frozenset({"dist_ops"}),
     # outcomes
     "completed": frozenset({"seconds"}),
@@ -79,6 +80,7 @@ PHASE_OF: Dict[str, str] = {
     "context_cold": "context",
     "search_started": "search",
     "candidate_evaluated": "search",
+    "candidate_pruned": "search",
     "plan_built": "build",
     "completed": "outcome",
     "failed": "outcome",
