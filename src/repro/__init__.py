@@ -21,6 +21,8 @@ Public surface:
   :func:`submit` expose the process-wide instance.
 - ``repro.resilience`` — fault injection, failure detection and elastic
   replanning on the surviving cluster.
+- ``repro.elastic`` — time-varying fleets: Poisson churn schedules,
+  spot preemption and the replan-or-ride scale-up economics.
 - ``repro.telemetry`` — metrics registry, span tracing, critical-path
   attribution.
 """
@@ -28,6 +30,7 @@ Public surface:
 from . import (
     agent,
     cluster,
+    elastic,
     graph,
     parallel,
     plan,
@@ -107,6 +110,7 @@ __all__ = [
     "plan",
     "profiling",
     "resilience",
+    "elastic",
     "runtime",
     "service",
     "simulation",

@@ -31,11 +31,17 @@ import sys
 from typing import List, Optional
 
 from . import __version__
-from .cluster import cluster_4gpu, cluster_8gpu, cluster_12gpu
+from .cluster import (
+    cluster_2gpu,
+    cluster_4gpu,
+    cluster_8gpu,
+    cluster_12gpu,
+)
 from .errors import ReproError
 from .graph.models import ALL_MODELS, build_model, model_names
 
 CLUSTERS = {
+    "2gpu": cluster_2gpu,
     "4gpu": cluster_4gpu,
     "8gpu": cluster_8gpu,
     "12gpu": cluster_12gpu,
@@ -307,6 +313,62 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 1 if report.stalled else 0
 
 
+def cmd_churn(args: argparse.Namespace) -> int:
+    """``repro churn``: train through spot arrivals and preemptions.
+
+    Either a concrete ``--schedule`` of capacity events or a seeded
+    Poisson timeline from ``--arrival-rate`` / ``--preempt-rate``
+    (the :class:`~repro.elastic.ChurnSchedule` generator).  Returns
+    exit code 1 when the run stalled, so scripts can assert the
+    elastic policy kept the job alive.
+    """
+    from . import telemetry
+    from .config import HeteroGConfig
+    from .elastic import ChurnSchedule
+    from .experiments.common import bench_agent_config
+    from .heterog import HeteroG
+    from .resilience import FaultSchedule
+
+    model_name = _resolve_model(args.model)
+    cluster = _resolve_cluster(args.cluster)()
+    episodes, steps = args.episodes, args.steps
+    replan_episodes = args.replan_episodes
+    if args.quick:
+        episodes = min(episodes, 2)
+        steps = min(steps, 6)
+        replan_episodes = min(replan_episodes, 2)
+    graph = build_model(model_name, args.preset)
+    if args.schedule:
+        schedule = FaultSchedule.parse(args.schedule)
+    else:
+        churn = ChurnSchedule(
+            arrival_rate=args.arrival_rate,
+            preempt_rate=args.preempt_rate,
+            notice=args.notice,
+            reclaim_probability=args.reclaim_probability,
+            seed=args.seed,
+            horizon=max(2, steps),
+        )
+        schedule = churn.schedule(cluster)
+    config = HeteroGConfig(episodes=episodes, seed=args.seed,
+                           agent=bench_agent_config(args.seed))
+    heterog = HeteroG(cluster, config)
+    with telemetry.session() as tel:
+        print(f"searching healthy deployment for {graph.name} on {cluster} "
+              f"({episodes} episodes)...", file=sys.stderr)
+        deployment = heterog.deploy(graph)
+        print("churn events: "
+              + (", ".join(e.label for e in schedule) or "(none)"),
+              file=sys.stderr)
+        trainer = heterog.resilient_runner(deployment, schedule,
+                                           policy=args.policy,
+                                           episodes=replan_episodes)
+        report = trainer.run(steps)
+        print(report.summary())
+        _save_outputs(args, tel)
+    return 1 if report.stalled else 0
+
+
 def _backend_options(args: argparse.Namespace) -> Optional[dict]:
     """Collect the fleet knobs into ``PlanningService(backend_options=)``."""
     if getattr(args, "backend", "auto") != "fleet":
@@ -554,7 +616,12 @@ def _run_experiment(args: argparse.Namespace) -> int:
     elif name == "fig9":
         print(ex.render_fig9(ex.fig9_existing_schemes()))
     elif name == "faults":
-        print(ex.render_fault_sweep(ex.fault_sweep(cluster_4gpu())))
+        if getattr(args, "churn", False):
+            print(ex.render_churn_sweep(ex.churn_sweep()))
+        else:
+            print(ex.render_fault_sweep(ex.fault_sweep(cluster_4gpu())))
+    elif name == "churn":
+        print(ex.render_churn_sweep(ex.churn_sweep()))
     else:  # pragma: no cover - argparse restricts choices
         raise SystemExit(f"unknown experiment {name}")
     return 0
@@ -624,9 +691,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="comma-separated faults, kind:target@iter[xF] "
                    "(e.g. 'crash:gpu3@5,degrade:server1@8x0.5'); "
                    "default: a seeded random schedule")
-    p.add_argument("--policy", choices=["replan", "ride"],
+    p.add_argument("--policy", choices=["replan", "ride", "elastic"],
                    default="replan",
-                   help="recovery policy (default: replan)")
+                   help="recovery policy (default: replan); elastic "
+                   "additionally reacts to joins and preempt notices")
     p.add_argument("--steps", type=int, default=12,
                    help="training iterations to run (default: 12)")
     p.add_argument("--episodes", type=int, default=8,
@@ -642,6 +710,46 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_output_args(p, journal=True)
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser("churn",
+                       help="train through spot arrivals and preemptions")
+    p.add_argument("model", help="model name or unique prefix "
+                   "(e.g. resnet, vgg19)")
+    p.add_argument("cluster", nargs="?", default="2gpu",
+                   help="starting cluster preset (default: 2gpu — small "
+                   "on purpose, so arriving capacity matters)")
+    p.add_argument("--schedule", metavar="SPEC",
+                   help="comma-separated capacity events, "
+                   "kind:target@iter[xF] (e.g. 'server_join:v100@2x2,"
+                   "preempt:gpu1@4x2'); default: a seeded Poisson "
+                   "timeline from the rates below")
+    p.add_argument("--arrival-rate", type=float, default=0.3,
+                   help="expected arrivals per iteration (default: 0.3)")
+    p.add_argument("--preempt-rate", type=float, default=0.1,
+                   help="expected preemptions per iteration "
+                   "(default: 0.1)")
+    p.add_argument("--notice", type=int, default=2,
+                   help="spot advance-notice window in iterations "
+                   "(default: 2)")
+    p.add_argument("--reclaim-probability", type=float, default=0.25,
+                   help="chance a preempted device comes back "
+                   "(default: 0.25)")
+    p.add_argument("--policy", choices=["elastic", "replan", "ride"],
+                   default="elastic",
+                   help="capacity policy (default: elastic)")
+    p.add_argument("--steps", type=int, default=12,
+                   help="training iterations to run (default: 12)")
+    p.add_argument("--episodes", type=int, default=8,
+                   help="initial strategy-search episodes (default: 8)")
+    p.add_argument("--replan-episodes", type=int, default=4,
+                   help="episodes per replan search (default: 4)")
+    p.add_argument("--quick", action="store_true",
+                   help="CI smoke mode: trim episodes and steps")
+    p.add_argument("--preset", choices=["tiny", "bench", "paper"],
+                   default="bench", help="model scale (default: bench)")
+    p.add_argument("--seed", type=int, default=0)
+    _add_output_args(p, journal=True)
+    p.set_defaults(func=cmd_churn)
 
     p = sub.add_parser("serve",
                        help="drive the planning service with a workload")
@@ -698,9 +806,12 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("experiment", help="run one paper experiment")
     p.add_argument("name", choices=["table1", "table4", "table5", "table7",
                                     "fig3a", "fig3b", "fig8", "fig9",
-                                    "faults"])
+                                    "faults", "churn"])
     p.add_argument("--large", action="store_true",
                    help="include the large-model OOM rows (slow)")
+    p.add_argument("--churn", action="store_true",
+                   help="with 'faults': sweep capacity churn (arrivals, "
+                   "spot preemptions) instead of degradation faults")
     _add_output_args(p, journal=True)
     p.set_defaults(func=cmd_experiment)
 

@@ -2,15 +2,18 @@
 
 from .device import (
     GB,
+    GPU_ALIASES,
     GPU_MODELS,
     GTX_1080TI,
     TESLA_P100,
     TESLA_V100,
     Device,
     GPUSpec,
+    resolve_gpu,
 )
 from .link import GBPS, NIC_50G, NIC_100G, NVLINK, PCIE3, Link, LinkSpec
 from .presets import (
+    cluster_2gpu,
     cluster_4gpu,
     cluster_8gpu,
     cluster_12gpu,
@@ -28,7 +31,9 @@ __all__ = [
     "ServerSpec",
     "GB",
     "GBPS",
+    "GPU_ALIASES",
     "GPU_MODELS",
+    "resolve_gpu",
     "TESLA_V100",
     "TESLA_P100",
     "GTX_1080TI",
@@ -40,5 +45,6 @@ __all__ = [
     "cluster_12gpu",
     "cluster_8gpu",
     "cluster_4gpu",
+    "cluster_2gpu",
     "homogeneous_cluster",
 ]

@@ -84,6 +84,29 @@ GPU_MODELS: Dict[str, GPUSpec] = {
     spec.model: spec for spec in (TESLA_V100, GTX_1080TI, TESLA_P100)
 }
 
+#: short, spec-grammar-friendly names for the GPU models (full model
+#: names contain spaces, which fault/churn specs cannot carry)
+GPU_ALIASES: Dict[str, GPUSpec] = {
+    "v100": TESLA_V100,
+    "1080ti": GTX_1080TI,
+    "p100": TESLA_P100,
+}
+
+
+def resolve_gpu(name: str) -> GPUSpec:
+    """A :class:`GPUSpec` from an alias (``v100``) or full model name.
+
+    Raises :class:`KeyError` with the known names when unresolvable.
+    """
+    key = name.strip()
+    spec = GPU_ALIASES.get(key.lower()) or GPU_MODELS.get(key)
+    if spec is None:
+        raise KeyError(
+            f"unknown GPU model {name!r} (known: "
+            f"{', '.join(sorted(GPU_ALIASES))} or "
+            f"{', '.join(sorted(GPU_MODELS))})")
+    return spec
+
 
 @dataclass(frozen=True)
 class Device:

@@ -55,6 +55,18 @@ def cluster_8gpu() -> Cluster:
     )
 
 
+def cluster_2gpu() -> Cluster:
+    """2x GTX 1080Ti on one server — the elastic-churn starting fleet.
+
+    Deliberately small and slow: the churn experiments start here so
+    that arriving V100 capacity is genuinely worth replanning onto.
+    """
+    return Cluster(
+        [ServerSpec("server0", GTX_1080TI, 2, NIC_50G, intra_link=PCIE3)],
+        switch_bandwidth=SWITCH_BANDWIDTH,
+    )
+
+
 def cluster_4gpu() -> Cluster:
     """2x V100 + 2x 1080Ti — the Fig. 3(a) motivation cluster."""
     return Cluster(

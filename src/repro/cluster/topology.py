@@ -22,6 +22,36 @@ class ServerSpec:
     intra_link: LinkSpec = PCIE3  # NVLink on the V100 box, PCIe elsewhere
 
 
+def _wire_link(a: Device, b: Device, spec_of: Mapping[str, ServerSpec],
+               switch_bandwidth: float) -> Link:
+    """The link the fabric gives a device pair (loopback / intra / inter).
+
+    One shared implementation so links wired for a freshly-joined device
+    are value-identical to what full re-enumeration would produce.
+    """
+    if a.device_id == b.device_id:
+        return Link(a.device_id, b.device_id, LOOPBACK.bandwidth,
+                    LOOPBACK.latency, intra_server=True)
+    if a.server == b.server:
+        spec = spec_of[a.device_id].intra_link
+        return Link(a.device_id, b.device_id, spec.bandwidth, spec.latency,
+                    intra_server=True)
+    nic_a = spec_of[a.device_id].nic
+    nic_b = spec_of[b.device_id].nic
+    bandwidth = min(nic_a.bandwidth, nic_b.bandwidth, switch_bandwidth)
+    latency = nic_a.latency + nic_b.latency
+    return Link(a.device_id, b.device_id, bandwidth, latency,
+                intra_server=False)
+
+
+def _device_order_key(device: Device) -> Tuple[int, str]:
+    """Canonical fleet order: numeric ``gpuN`` suffix, then lexical."""
+    dev_id = device.device_id
+    if dev_id.startswith("gpu") and dev_id[3:].isdigit():
+        return (int(dev_id[3:]), dev_id)
+    return (1 << 30, dev_id)
+
+
 class Cluster:
     """The heterogeneous GPU cluster HeteroG deploys onto.
 
@@ -55,19 +85,7 @@ class Cluster:
 
     # ------------------------------------------------------------------ #
     def _make_link(self, a: Device, b: Device) -> Link:
-        if a.device_id == b.device_id:
-            return Link(a.device_id, b.device_id, LOOPBACK.bandwidth,
-                        LOOPBACK.latency, intra_server=True)
-        if a.server == b.server:
-            spec = self._server_of[a.device_id].intra_link
-            return Link(a.device_id, b.device_id, spec.bandwidth, spec.latency,
-                        intra_server=True)
-        nic_a = self._server_of[a.device_id].nic
-        nic_b = self._server_of[b.device_id].nic
-        bandwidth = min(nic_a.bandwidth, nic_b.bandwidth, self.switch_bandwidth)
-        latency = nic_a.latency + nic_b.latency
-        return Link(a.device_id, b.device_id, bandwidth, latency,
-                    intra_server=False)
+        return _wire_link(a, b, self._server_of, self.switch_bandwidth)
 
     # ------------------------------------------------------------------ #
     @property
@@ -130,6 +148,15 @@ class Cluster:
         """A cluster view restricted to ``device_ids`` (keeps servers/links).
 
         Used for the paper's 8-GPU vs 12-GPU experiments on one testbed.
+
+        .. note:: This builds a *fresh* cluster, so devices are
+           **renumbered** from ``gpu0`` (``subcluster(["gpu2", "gpu3"])``
+           yields devices ``gpu0``/``gpu1``).  That is right for
+           "pretend the testbed is smaller" experiments, but wrong for a
+           fleet that changed mid-run: use :meth:`without_devices` /
+           :meth:`with_devices`, which preserve device identity, when
+           strategies or plan fingerprints referencing existing ids must
+           stay valid.
         """
         keep = set(device_ids)
         unknown = keep - set(self.device_ids)
@@ -170,6 +197,13 @@ class Cluster:
 
         Every link touching a removed device disappears with it; servers
         whose GPUs all failed are dropped entirely.
+
+        Unlike :meth:`subcluster` (which renumbers from ``gpu0``), the
+        survivors keep their ids, specs and link objects, so placements
+        and plan fingerprints that mention ``gpu5`` still mean the same
+        GPU.  :meth:`with_devices` is the growth dual: removing devices
+        and adding the *same* :class:`Device` objects back round-trips
+        to an identical cluster fingerprint.
         """
         failed = set(device_ids)
         unknown = failed - set(self.device_ids)
@@ -191,6 +225,114 @@ class Cluster:
             for s in self.servers if per_server.get(s.name)
         ]
         return self._derive(survivors, links, servers)
+
+    def with_devices(self, devices: Iterable[Device],
+                     templates: Optional[Mapping[str, ServerSpec]] = None
+                     ) -> "Cluster":
+        """The cluster plus ``devices``, existing identities untouched.
+
+        The growth dual of :meth:`without_devices`: no device is
+        renumbered, existing link objects are kept, and the new devices'
+        links are wired from their hosting server's spec (intra link
+        inside the server, NIC + switch across servers) exactly as full
+        re-enumeration would wire them — so
+        ``c.without_devices(s).with_devices([c.device(d) for d in s])``
+        produces an *identical* cluster fingerprint and the warm plan
+        layer stays sound across fleet changes.
+
+        Each added :class:`Device` names its hosting server.  Servers
+        already in the cluster contribute their NIC/intra-link specs;
+        a server unknown to the cluster must appear in ``templates``
+        (its ``num_gpus`` is taken from the devices actually added).
+        Devices are kept in canonical fleet order (numeric ``gpuN``
+        order), so a reclaimed ``gpu1`` slots back between ``gpu0`` and
+        ``gpu2`` instead of being appended.
+        """
+        added = list(devices)
+        if not added:
+            return self
+        dup = [d.device_id for d in added if d.device_id in self._by_id]
+        if dup:
+            raise PlacementError(
+                f"devices already in the cluster: {sorted(set(dup))}")
+        if len({d.device_id for d in added}) != len(added):
+            raise PlacementError(
+                f"duplicate device ids in with_devices: "
+                f"{sorted(d.device_id for d in added)}")
+        templates = dict(templates or {})
+        spec_by_name: Dict[str, ServerSpec] = {s.name: s for s in self.servers}
+        per_new_server: Dict[str, int] = {}
+        for dev in added:
+            if dev.server not in spec_by_name:
+                if dev.server not in templates:
+                    raise PlacementError(
+                        f"device {dev.device_id!r} joins unknown server "
+                        f"{dev.server!r} and no template was given")
+                per_new_server[dev.server] = \
+                    per_new_server.get(dev.server, 0) + 1
+        servers: List[ServerSpec] = []
+        added_per_server: Dict[str, int] = {}
+        for dev in added:
+            added_per_server[dev.server] = \
+                added_per_server.get(dev.server, 0) + 1
+        for s in self.servers:
+            extra = added_per_server.get(s.name, 0)
+            servers.append(dataclasses.replace(s, num_gpus=s.num_gpus + extra)
+                           if extra else s)
+        for name, count in per_new_server.items():
+            servers.append(dataclasses.replace(templates[name], name=name,
+                                               num_gpus=count))
+        merged = sorted(self._devices + added, key=_device_order_key)
+        spec_of = {s.name: s for s in servers}
+        server_of = {d.device_id: spec_of[d.server] for d in merged}
+        links = dict(self._links)
+        new_ids = {d.device_id for d in added}
+        for a in merged:
+            for b in merged:
+                if a.device_id in new_ids or b.device_id in new_ids:
+                    links[(a.device_id, b.device_id)] = _wire_link(
+                        a, b, server_of, self.switch_bandwidth)
+        return self._derive(merged, links, servers)
+
+    def with_joined_devices(self, server: str, count: int = 1) -> "Cluster":
+        """``count`` fresh GPUs joining an existing ``server`` in place.
+
+        New devices take the server's GPU spec and the next free numeric
+        ids (``gpu<max+1>`` ...), so existing ids never shift.
+        """
+        spec = next((s for s in self.servers if s.name == server), None)
+        if spec is None:
+            raise PlacementError(
+                f"unknown server {server!r} "
+                f"(known: {self.server_names()})")
+        if count < 1:
+            raise PlacementError(f"join count must be >= 1, got {count}")
+        start = self._next_device_index()
+        added = [Device(f"gpu{start + i}", server, spec.gpu_spec)
+                 for i in range(count)]
+        return self.with_devices(added)
+
+    def with_joined_server(self, template: ServerSpec) -> "Cluster":
+        """A whole new server (``template``) joining the fleet.
+
+        The template's ``num_gpus`` GPUs get the next free numeric ids.
+        """
+        if template.name in set(self.server_names()):
+            raise PlacementError(
+                f"server {template.name!r} already in the cluster")
+        if template.num_gpus < 1:
+            raise PlacementError(
+                f"joined server needs >= 1 GPUs, got {template.num_gpus}")
+        start = self._next_device_index()
+        added = [Device(f"gpu{start + i}", template.name, template.gpu_spec)
+                 for i in range(template.num_gpus)]
+        return self.with_devices(added, templates={template.name: template})
+
+    def _next_device_index(self) -> int:
+        """First numeric device suffix not used by any current device."""
+        taken = [int(d.device_id[3:]) for d in self._devices
+                 if d.device_id.startswith("gpu") and d.device_id[3:].isdigit()]
+        return (max(taken) + 1) if taken else 0
 
     def with_scaled_links(self, factor: float,
                           involving: Optional[str] = None) -> "Cluster":

@@ -1,0 +1,33 @@
+"""``repro.elastic`` — elastic fleets, spot preemption, churn replanning.
+
+The cluster a job starts on is not the cluster it finishes on: spot
+markets grant and reclaim capacity mid-run.  This package makes the
+fleet a first-class *time-varying* object on top of the resilience
+subsystem's capacity events (``join`` / ``server_join`` / ``preempt`` /
+``reclaim``):
+
+- :class:`ChurnSchedule` — seeded Poisson generator turning arrival /
+  preemption *rates* into a concrete, deterministic
+  :class:`~repro.resilience.FaultSchedule` of capacity events;
+- :class:`ElasticPolicy` — the replan-or-ride economics: on arrival it
+  compares the expected savings from the enlarged fleet's makespan
+  lower bound against the replan cost (restart overhead + an EMA of
+  observed search wall-clock), yielding a :class:`ScaleDecision`; a
+  post-search :meth:`~ElasticPolicy.should_adopt` guard only adopts
+  plans that predict strictly faster than the incumbent.
+
+:class:`~repro.resilience.ResilientTrainer` consumes both via
+``policy="elastic"``: arrivals trigger priced background replans,
+preempt notices trigger a drain-replan *before* the device dies (zero
+lost work), and reclaims fold the device back into the fleet without
+renumbering (see :meth:`~repro.cluster.topology.Cluster.with_devices`).
+"""
+
+from .churn import ChurnSchedule
+from .policy import ElasticPolicy, ScaleDecision
+
+__all__ = [
+    "ChurnSchedule",
+    "ElasticPolicy",
+    "ScaleDecision",
+]

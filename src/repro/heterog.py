@@ -119,6 +119,9 @@ class HeteroG:
         replanner searches on the *degraded* cluster derived from the
         active faults.  ``policy="ride"`` keeps the original plan and
         stalls on crashes — the baseline the fault-sweep compares with.
+        ``policy="elastic"`` additionally reacts to capacity events
+        (joins, spot preempt notices, reclaims): priced scale-up
+        replans and pre-deadline drains.
         """
         injector = FaultInjector(self.cluster, schedule)
         engine = ExecutionEngine(
@@ -128,7 +131,7 @@ class HeteroG:
             fault_injector=injector,
         )
         replanner = None
-        if policy == "replan":
+        if policy in ("replan", "elastic"):
             agent_config = dataclasses.replace(
                 self.config.agent,
                 use_order_scheduling=self.config.use_order_scheduling,

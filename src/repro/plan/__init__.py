@@ -20,7 +20,11 @@ Cache behaviour is observable through the ``plan_cache_hits_total`` and
 from .batch import BatchEvaluator
 from .builder import PlanBuilder
 from .cache import PlanCache
-from .fingerprint import fingerprint_context, fingerprint_strategy
+from .fingerprint import (
+    fingerprint_cluster,
+    fingerprint_context,
+    fingerprint_strategy,
+)
 from .plan import EvalOutcome, ExecutionPlan
 from .pruning import BestSoFar
 
@@ -31,6 +35,7 @@ __all__ = [
     "ExecutionPlan",
     "PlanBuilder",
     "PlanCache",
+    "fingerprint_cluster",
     "fingerprint_context",
     "fingerprint_strategy",
 ]

@@ -77,6 +77,17 @@ def _profile_payload(profile: Profile) -> Any:
     }
 
 
+def fingerprint_cluster(cluster: Cluster) -> str:
+    """Digest of a cluster topology alone (devices, in order, + links).
+
+    Two clusters with equal fingerprints are interchangeable for the
+    plan layer.  The elastic subsystem relies on this to check that
+    :meth:`~repro.cluster.topology.Cluster.with_devices` round-trips
+    :meth:`~repro.cluster.topology.Cluster.without_devices` exactly.
+    """
+    return _digest(_cluster_payload(cluster))
+
+
 def fingerprint_context(graph: ComputationGraph, cluster: Cluster,
                         profile: Profile, *, use_order_scheduling: bool,
                         group_of: Optional[Mapping[str, int]] = None) -> str:

@@ -13,7 +13,10 @@ the heterogeneous cluster *changes under* a deployed strategy:
    (:meth:`Cluster.without_devices` / :meth:`Cluster.with_scaled_links`)
    and re-runs strategy search through the warm plan layer;
 4. :class:`ResilientTrainer` drives the whole loop, accounting MTTR and
-   lost work, under a ``replan`` or ``ride`` (do-nothing) policy.
+   lost work, under a ``replan``, ``ride`` (do-nothing) or ``elastic``
+   policy — the last also reacting to *capacity* events
+   (:data:`CAPACITY_KINDS`: joins, spot preempt notices, reclaims)
+   through :mod:`repro.elastic`.
 """
 
 from ..runtime.trainer_loop import DetectionEvent, FailureDetector
@@ -24,6 +27,8 @@ from .controller import (
     ResilientTrainer,
 )
 from .faults import (
+    CAPACITY_KINDS,
+    FAULT_KINDS,
     FaultEvent,
     FaultInjector,
     FaultKind,
@@ -33,6 +38,8 @@ from .faults import (
 from .replan import RecoveryPlan, Replanner
 
 __all__ = [
+    "CAPACITY_KINDS",
+    "FAULT_KINDS",
     "FaultKind",
     "FaultEvent",
     "FaultSchedule",

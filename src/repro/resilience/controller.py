@@ -3,10 +3,28 @@
 :class:`ResilientTrainer` drives an :class:`ExecutionEngine` whose cost
 model a :class:`FaultInjector` is mutating, watches every iteration
 with a :class:`FailureDetector`, and on detection either *replans*
-(elastic recovery onto the surviving devices through a
-:class:`Replanner`) or *rides it out* (keeps the original plan at
-degraded speed — the baseline the fault-sweep experiment compares
-against).  A crash cannot be ridden out: the run stalls.
+(recovery onto the surviving devices through a :class:`Replanner`) or
+*rides it out* (keeps the original plan at degraded speed — the
+baseline the fault-sweep experiment compares against).  A crash cannot
+be ridden out: the run stalls.
+
+The third policy, ``elastic``, additionally reacts to *capacity*
+events (``join`` / ``server_join`` / ``preempt`` / ``reclaim``):
+
+- on **arrival**, an :class:`~repro.elastic.ElasticPolicy` prices the
+  replan — expected savings from the enlarged fleet's makespan lower
+  bound versus restart overhead + estimated search cost — and only
+  replans when it pays; the search runs concurrently with training
+  (the old plan keeps stepping), so a scale-up costs only the restart
+  overhead and is booked as ``action="scale_up"``, keeping MTTR a pure
+  failure-recovery statistic;
+- on a **preempt notice**, it drains: replan *before* the deadline onto
+  the fleet minus every noticed device, so the synthesized crash hits a
+  device nothing runs on — zero lost work, downtime = restart overhead.
+
+``replan`` adopts arrivals unconditionally and ignores notices (it
+recovers from the eventual crash like any other failure); ``ride``
+ignores capacity events entirely.
 
 Recovery accounting follows the usual MTTR / lost-work decomposition:
 
@@ -39,24 +57,29 @@ from ..runtime.trainer_loop import DetectionEvent, FailureDetector
 from ..telemetry.context import request_scope
 from ..telemetry.flight import FlightRecorder, default_recorder
 from ..telemetry.journal import new_request_id
-from .faults import FaultEvent, FaultInjector
+from ..elastic.policy import ElasticPolicy
+from .faults import FaultEvent, FaultInjector, FaultKind
 from .replan import Replanner
 
-POLICIES = ("replan", "ride")
+POLICIES = ("replan", "ride", "elastic")
+
+_ARRIVAL_KINDS = (FaultKind.DEVICE_JOIN, FaultKind.SERVER_JOIN,
+                  FaultKind.RECLAIM)
 
 
 @dataclass
 class RecoveryRecord:
-    """One detected fault and what the controller did about it."""
+    """One detected fault (or capacity event) and the controller's move."""
 
     iteration: int
     cause: str                   # e.g. "device_lost:gpu3"
-    action: str                  # "replan" | "ride" | "stall"
+    action: str                  # "replan" | "ride" | "stall" | "scale_up"
     downtime_seconds: float = 0.0
     lost_work_seconds: float = 0.0
     search_seconds: float = 0.0
     plan_cache_hits: int = 0
     devices_after: int = 0
+    trigger: str = "failure"     # "failure" | "arrival" | "preempt_notice"
 
 
 @dataclass
@@ -141,7 +164,8 @@ class ResilientTrainer:
                  policy: str = "replan",
                  restart_overhead: float = 0.0,
                  max_recoveries: int = 8,
-                 recorder: Optional[FlightRecorder] = None):
+                 recorder: Optional[FlightRecorder] = None,
+                 elastic_policy: Optional[ElasticPolicy] = None):
         if policy not in POLICIES:
             raise ReproError(
                 f"unknown policy {policy!r}; expected one of {POLICIES}")
@@ -160,6 +184,8 @@ class ResilientTrainer:
         self.max_recoveries = max_recoveries
         self.recorder = recorder if recorder is not None \
             else default_recorder()
+        self.elastic_policy = elastic_policy if elastic_policy is not None \
+            else ElasticPolicy(restart_overhead=restart_overhead)
         self.episode_id = ""         # assigned per run()
         self._healthy_mean: Optional[float] = None
 
@@ -181,7 +207,11 @@ class ResilientTrainer:
             with telemetry.span("resilience.run", steps=steps,
                                 policy=self.policy):
                 for i in range(steps):
-                    report.faults.extend(self.injector.advance(i))
+                    fired = self.injector.advance(i)
+                    report.faults.extend(fired)
+                    capacity = [e for e in fired if e.is_capacity]
+                    if capacity:
+                        self._handle_capacity(i, capacity, steps, report)
                     if not self._step(i, report):
                         report.stalled = True
                         break
@@ -242,6 +272,224 @@ class ResilientTrainer:
             else 0.7 * prev + 0.3 * makespan
 
     # ---------------------------------------------------------------- #
+    def _handle_capacity(self, i: int, events: List[FaultEvent],
+                         steps: int, report: ResilienceReport) -> None:
+        """React to fleet changes fired this iteration (policy-dependent)."""
+        fleet = self.injector.physical_cluster()
+        for ev in events:
+            if ev.kind is FaultKind.PREEMPT:
+                deadline = self.injector.preempt_pending.get(
+                    ev.target, i + ev.count)
+                self.recorder.emit(self.episode_id, "preempt_notice",
+                                   target=ev.target, deadline=deadline)
+            elif ev.kind is FaultKind.RECLAIM:
+                self.recorder.emit(self.episode_id, "device_reclaimed",
+                                   target=ev.target,
+                                   devices=fleet.num_devices)
+            else:
+                self.recorder.emit(self.episode_id, "device_joined",
+                                   target=ev.target,
+                                   devices=fleet.num_devices)
+        tel = telemetry.active()
+        if tel is not None:
+            tel.registry.gauge(
+                "elastic_fleet_devices",
+                help="physical fleet size after the latest capacity event",
+            ).set(fleet.num_devices)
+        if self.policy == "ride" or self.replanner is None:
+            return
+        notices = [e for e in events if e.kind is FaultKind.PREEMPT]
+        arrivals = [e for e in events if e.kind in _ARRIVAL_KINDS]
+        if notices and self.policy == "elastic":
+            self._drain(i, notices, report)
+        if arrivals:
+            self._scale_up(i, arrivals, steps, report)
+
+    def _usable_cluster(self):
+        """Joins applied, failures removed — the replan target.
+
+        Only the elastic policy acts on advance notice, so only it
+        subtracts preempt-pending devices; ``replan`` keeps placing on
+        them until they actually die.
+        """
+        cluster = self.injector.current_cluster()
+        if self.policy == "elastic":
+            doomed = set(self.injector.preempt_pending) \
+                & set(cluster.device_ids)
+            if doomed:
+                cluster = cluster.without_devices(doomed)
+        return cluster
+
+    def _drain(self, i: int, notices: List[FaultEvent],
+               report: ResilienceReport) -> None:
+        """Replan off dying devices *before* their deadline (elastic)."""
+        targets = sorted(e.target for e in notices)
+        if not (set(targets) & set(self.deployment.cluster.device_ids)):
+            return                # nothing running on the dying devices
+        cluster = self._usable_cluster()
+        cause = "preempt_notice:" + "+".join(targets)
+        self.recorder.emit(self.episode_id, "replan_started",
+                           devices=cluster.num_devices, cause=cause,
+                           iteration=i)
+        with telemetry.span("resilience.drain", iteration=i, cause=cause):
+            recovery = self.replanner.replan(cluster)
+        self.recorder.emit(self.episode_id, "replan_completed",
+                           seconds=recovery.search_seconds,
+                           feasible=recovery.feasible,
+                           request_id_of_replan=recovery.request_id)
+        self.elastic_policy.observe_search(recovery.search_seconds)
+        # the search ran inside the notice window, concurrent with
+        # training: only the restart is paid, and nothing is lost
+        self.deployment = recovery.deployment
+        self.detector.reset()
+        self._maybe_rebuild_engine()
+        report.recoveries.append(RecoveryRecord(
+            iteration=i, cause=cause, action="replan",
+            trigger="preempt_notice",
+            downtime_seconds=self.restart_overhead,
+            search_seconds=recovery.search_seconds,
+            plan_cache_hits=recovery.plan_cache_hits,
+            devices_after=recovery.cluster.num_devices,
+        ))
+        self.recorder.emit(self.episode_id, "resumed", iteration=i,
+                           devices=recovery.cluster.num_devices)
+
+    def _scale_up(self, i: int, arrivals: List[FaultEvent], steps: int,
+                  report: ResilienceReport) -> None:
+        """Price new capacity; replan onto it only when it pays."""
+        cluster = self._usable_cluster()
+        if set(cluster.device_ids) \
+                <= set(self.deployment.cluster.device_ids):
+            return                # arrivals already folded in (or doomed)
+        cause = "arrival:" + "+".join(sorted(e.target for e in arrivals))
+        tel = telemetry.active()
+        if self.policy == "elastic":
+            decision = self.elastic_policy.decide(
+                self.deployment, cluster,
+                healthy_mean=self._healthy_mean,
+                remaining_steps=steps - i)
+            if not decision.replan:
+                self.recorder.emit(
+                    self.episode_id, "scale_up_skipped",
+                    expected_savings=decision.expected_savings,
+                    replan_cost=decision.replan_cost,
+                    reason=decision.reason)
+                if tel is not None:
+                    tel.registry.counter(
+                        "elastic_scale_ups_skipped_total",
+                        help="arrivals where replanning did not pay",
+                    ).inc()
+                return
+        else:
+            decision = None       # replan policy adopts unconditionally
+        with telemetry.span("resilience.scale_up", iteration=i,
+                            cause=cause):
+            recovery = self.replanner.replan(cluster)
+        self.elastic_policy.observe_search(recovery.search_seconds)
+        adopted = recovery.deployment
+        adopted_time = recovery.outcome.time
+        if self.policy == "elastic":
+            fast_path = self._fast_path_candidate(cluster)
+            if fast_path is not None and fast_path[1] < adopted_time:
+                adopted, adopted_time = fast_path
+        predicted = self._predicted_makespan()
+        if self.policy == "elastic" and not self.elastic_policy.\
+                should_adopt(predicted, adopted_time):
+            self.recorder.emit(
+                self.episode_id, "scale_up_skipped",
+                expected_savings=0.0,
+                replan_cost=recovery.search_seconds,
+                reason="searched plan not faster than incumbent")
+            if tel is not None:
+                tel.registry.counter(
+                    "elastic_scale_ups_skipped_total",
+                    help="arrivals where replanning did not pay",
+                ).inc()
+            return
+        # the search ran concurrently with training on the old plan:
+        # adoption costs one restart, no work is thrown away
+        self.deployment = adopted
+        self.detector.reset()
+        self._maybe_rebuild_engine()
+        report.recoveries.append(RecoveryRecord(
+            iteration=i, cause=cause, action="scale_up",
+            trigger="arrival",
+            downtime_seconds=self.restart_overhead,
+            search_seconds=recovery.search_seconds,
+            plan_cache_hits=recovery.plan_cache_hits,
+            devices_after=recovery.cluster.num_devices,
+        ))
+        self.recorder.emit(
+            self.episode_id, "scale_up_replan",
+            devices=recovery.cluster.num_devices,
+            expected_savings=decision.expected_savings
+            if decision is not None else 0.0,
+            replan_cost=decision.replan_cost
+            if decision is not None else recovery.search_seconds)
+        if tel is not None:
+            tel.registry.counter(
+                "elastic_scale_up_replans_total",
+                help="arrivals adopted via a priced replan",
+            ).inc()
+
+    def _predicted_makespan(self) -> float:
+        plan = self.deployment.plan
+        if plan is not None and plan.sim_result is not None:
+            return plan.sim_result.makespan
+        return float("nan")
+
+    def _fast_path_candidate(self, cluster):
+        """The no-search arrival plan: all ops on the fastest new device.
+
+        A latency-bound graph often beats any multi-device plan by
+        simply moving whole onto the fastest arriving GPU — a candidate
+        the episodic search rarely samples.  Costs one plan build (one
+        simulation), deterministic; returns ``(deployment, predicted)``
+        or None when the candidate is infeasible or no device is new.
+        """
+        from ..parallel.strategy import single_device_strategy
+        from ..plan import PlanBuilder
+        from ..runtime.deployment import build_deployment
+
+        new_ids = set(cluster.device_ids) \
+            - set(self.deployment.cluster.device_ids)
+        if not new_ids:
+            return None
+        fastest = max((cluster.device(d) for d in sorted(new_ids)),
+                      key=lambda d: d.compute_power)
+        try:
+            builder = PlanBuilder(self.deployment.graph, cluster)
+            plan = builder.build(single_device_strategy(
+                self.deployment.graph, cluster,
+                device=fastest.device_id))
+        except ReproError:
+            return None
+        result = plan.sim_result
+        if result is None or result.oom_devices:
+            return None
+        return build_deployment(plan), result.makespan
+
+    def _maybe_rebuild_engine(self) -> None:
+        """Grow the engine when the adopted plan uses devices it lacks.
+
+        The rebuilt engine models the *physical* fleet (failures stay
+        visible through the injector's overlay) and continues the old
+        engine's RNG stream, so jitter draws are unaffected by when the
+        rebuild happens.
+        """
+        if set(self.deployment.cluster.device_ids) \
+                <= set(self.engine.cluster.device_ids):
+            return
+        old = self.engine
+        self.engine = ExecutionEngine(
+            self.injector.physical_cluster(),
+            jitter_sigma=old.cost.jitter_sigma,
+            interserver_discount=old.cost.interserver_discount,
+            rng=old.rng,
+            fault_injector=self.injector,
+        )
+
+    # ---------------------------------------------------------------- #
     def _recover(self, i: int, event: DetectionEvent,
                  report: ResilienceReport) -> bool:
         """Handle one detection; False means the run cannot continue."""
@@ -260,9 +508,9 @@ class ResilientTrainer:
             ))
             return True
 
-    # replan policy
+    # replan / elastic policy: re-search on what is usable right now
         detection_lag = self._healthy_mean or 0.0
-        degraded = self.injector.degraded_cluster()
+        degraded = self._usable_cluster()
         self.recorder.emit(self.episode_id, "replan_started",
                            devices=degraded.num_devices, cause=cause,
                            iteration=i)
@@ -272,8 +520,10 @@ class ResilientTrainer:
                            seconds=recovery.search_seconds,
                            feasible=recovery.feasible,
                            request_id_of_replan=recovery.request_id)
+        self.elastic_policy.observe_search(recovery.search_seconds)
         self.deployment = recovery.deployment
         self.detector.reset()
+        self._maybe_rebuild_engine()
         lost = detection_lag if event.is_hard else 0.0
         downtime = detection_lag + recovery.search_seconds \
             + self.restart_overhead

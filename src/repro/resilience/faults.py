@@ -10,6 +10,16 @@ overlay hooks:
 - ``degrade`` — links through the device/server lose bandwidth;
 - ``straggler`` — the device's compute durations are multiplied.
 
+The vocabulary also covers *capacity* events, which change the fleet
+itself rather than the cost overlay (the elastic subsystem reacts to
+these; a policy that ignores them simply keeps its current plan):
+
+- ``join`` — fresh GPUs appear on an existing server;
+- ``server_join`` — a whole new server joins the fleet;
+- ``preempt`` — a spot-style crash with an advance-notice window (the
+  device dies ``factor`` iterations after the notice fires);
+- ``reclaim`` — a previously crashed/preempted device comes back.
+
 With an empty schedule the injector installs no overlay at all, so the
 engine's timeline is bit-identical to a run without any injector —
 paired (faults on/off) experiments are sound by construction.
@@ -18,32 +28,53 @@ paired (faults on/off) experiments are sound by construction.
 from __future__ import annotations
 
 import enum
+import re
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from .. import telemetry
-from ..cluster.topology import Cluster
+from ..cluster.device import GPU_ALIASES, resolve_gpu
+from ..cluster.link import NIC_50G, PCIE3
+from ..cluster.topology import Cluster, ServerSpec
 from ..errors import ReproError
 
 
 class FaultKind(enum.Enum):
-    """What goes wrong."""
+    """What goes wrong — or what capacity shows up."""
 
     DEVICE_CRASH = "crash"          # GPU disappears (XID error, host dies)
     LINK_DEGRADE = "degrade"        # NIC/link drops to a fraction of BW
     STRAGGLER = "straggler"         # device persistently slows down
+    DEVICE_JOIN = "join"            # GPUs appear on an existing server
+    SERVER_JOIN = "server_join"     # a whole new server joins the fleet
+    PREEMPT = "preempt"             # spot notice: crash after a window
+    RECLAIM = "reclaim"             # a downed device comes back
+
+
+#: the original degradation kinds — the default pool for
+#: :meth:`FaultSchedule.random` (kept at three so seeded schedules from
+#: before the capacity vocabulary are byte-identical)
+FAULT_KINDS = (FaultKind.DEVICE_CRASH, FaultKind.LINK_DEGRADE,
+               FaultKind.STRAGGLER)
+
+#: events that change the fleet rather than degrade it
+CAPACITY_KINDS = frozenset({FaultKind.DEVICE_JOIN, FaultKind.SERVER_JOIN,
+                            FaultKind.PREEMPT, FaultKind.RECLAIM})
 
 
 @dataclass(frozen=True)
 class FaultEvent:
     """One fault striking at the start of ``iteration``.
 
-    ``target`` is a device id (crash/straggler/degrade) or a server name
-    (degrade: the server's NIC).  ``factor`` is the bandwidth multiplier
-    in (0, 1) for ``degrade`` and the slowdown multiplier > 1 for
-    ``straggler``; crashes ignore it.
+    ``target`` is a device id (crash/straggler/preempt/reclaim), a
+    server name (degrade: the server's NIC; join: the hosting server) or
+    a GPU model alias (server_join, e.g. ``v100``).  ``factor`` is the
+    bandwidth multiplier in (0, 1) for ``degrade``, the slowdown
+    multiplier > 1 for ``straggler``, the GPU count for ``join`` /
+    ``server_join`` and the advance-notice window in iterations for
+    ``preempt``; crashes and reclaims ignore it.
     """
 
     iteration: int
@@ -60,11 +91,29 @@ class FaultEvent:
         if self.kind is FaultKind.STRAGGLER and self.factor <= 1:
             raise ReproError(
                 f"straggler factor must be > 1, got {self.factor}")
+        if self.kind in (FaultKind.DEVICE_JOIN, FaultKind.SERVER_JOIN,
+                         FaultKind.PREEMPT):
+            what = ("GPU count" if self.kind is not FaultKind.PREEMPT
+                    else "notice window")
+            if self.factor < 1 or self.factor != int(self.factor):
+                raise ReproError(
+                    f"{self.kind.value} factor is a {what}: needs a "
+                    f"whole number >= 1, got {self.factor}")
+
+    @property
+    def is_capacity(self) -> bool:
+        """True for events that change the fleet (join/preempt/reclaim)."""
+        return self.kind in CAPACITY_KINDS
+
+    @property
+    def count(self) -> int:
+        """The factor as a whole number (join counts, notice windows)."""
+        return int(self.factor)
 
     @property
     def label(self) -> str:
-        if self.kind is FaultKind.DEVICE_CRASH:
-            return f"crash:{self.target}@{self.iteration}"
+        if self.kind in (FaultKind.DEVICE_CRASH, FaultKind.RECLAIM):
+            return f"{self.kind.value}:{self.target}@{self.iteration}"
         return (f"{self.kind.value}:{self.target}@{self.iteration}"
                 f"x{self.factor:g}")
 
@@ -91,6 +140,10 @@ class FaultSchedule:
     def __iter__(self):
         return iter(self.events)
 
+    def __str__(self) -> str:
+        """The comma-separated spec form; ``parse(str(s))`` round-trips."""
+        return ",".join(e.label for e in self.events)
+
     # ---------------------------------------------------------------- #
     @staticmethod
     def empty() -> "FaultSchedule":
@@ -101,9 +154,16 @@ class FaultSchedule:
         """Parse ``kind:target@iteration[xfactor]`` items, comma-separated.
 
         Examples: ``crash:gpu3@5``, ``degrade:server1@8x0.5``,
-        ``straggler:gpu2@3x1.7``.
+        ``straggler:gpu2@3x1.7``, ``join:server1@4x2``,
+        ``server_join:v100@6x2``, ``preempt:gpu3@5x2``,
+        ``reclaim:gpu3@9``.
+
+        Two events for the same ``target@iteration`` are rejected: the
+        injector would apply them in spec order, silently making the
+        schedule order-sensitive, so the collision is an error instead.
         """
         events: List[FaultEvent] = []
+        specs_at: Dict[Tuple[str, int], List[str]] = {}
         for raw in spec.split(","):
             item = raw.strip()
             if not item:
@@ -124,6 +184,14 @@ class FaultSchedule:
                     f"bad fault spec {item!r} (want kind:target@iter[xF], "
                     f"e.g. crash:gpu3@5 or degrade:server1@8x0.5): {exc}"
                 ) from None
+            specs_at.setdefault(
+                (events[-1].target, events[-1].iteration), []).append(item)
+        colliding = [items for items in specs_at.values() if len(items) > 1]
+        if colliding:
+            listed = "; ".join(" vs ".join(items) for items in colliding)
+            raise ReproError(
+                f"duplicate fault events for the same target@iteration: "
+                f"{listed}")
         return FaultSchedule(tuple(events))
 
     @staticmethod
@@ -132,37 +200,72 @@ class FaultSchedule:
                kinds: Optional[List[FaultKind]] = None) -> "FaultSchedule":
         """A deterministic seeded schedule over ``cluster``'s resources.
 
-        Never crashes more than ``num_devices - 1`` GPUs, so a replan on
-        the survivors is always possible.
+        Never crashes/preempts more than ``num_devices - 1`` GPUs, so a
+        replan on the survivors is always possible.  ``kinds`` defaults
+        to the three degradation kinds (:data:`FAULT_KINDS`) — pass
+        capacity kinds explicitly (or use
+        :class:`~repro.elastic.ChurnSchedule` for rate-driven churn) to
+        generate arrivals and preemptions.
         """
         rng = np.random.default_rng(seed)
-        kinds = kinds or list(FaultKind)
+        kinds = list(kinds) if kinds else list(FAULT_KINDS)
         device_ids = cluster.device_ids
         servers = cluster.server_names()
         crashes_left = len(device_ids) - 1
         crashed: List[str] = []
+        down_at: Dict[str, int] = {}  # device -> iteration it goes dark
+        taken: set = set()            # (target, iteration) pairs used
         out: List[FaultEvent] = []
+
+        def emit(iteration: int, kind: FaultKind, target: str,
+                 factor: float = 1.0) -> bool:
+            if (target, iteration) in taken:
+                return False          # skip colliding draws, stay valid
+            taken.add((target, iteration))
+            out.append(FaultEvent(iteration, kind, target, factor))
+            return True
+
         for _ in range(events):
             kind = kinds[int(rng.integers(len(kinds)))]
             iteration = int(rng.integers(1, max(2, horizon)))
-            if kind is FaultKind.DEVICE_CRASH:
+            if kind is FaultKind.RECLAIM and not crashed:
+                kind = FaultKind.DEVICE_JOIN \
+                    if FaultKind.DEVICE_JOIN in kinds else FaultKind.STRAGGLER
+            if kind in (FaultKind.DEVICE_CRASH, FaultKind.PREEMPT):
                 alive = [d for d in device_ids if d not in crashed]
                 if crashes_left <= 0 or len(alive) <= 1:
                     kind = FaultKind.STRAGGLER
                 else:
                     target = alive[int(rng.integers(len(alive)))]
-                    crashed.append(target)
-                    crashes_left -= 1
-                    out.append(FaultEvent(iteration, kind, target))
+                    notice = (float(rng.integers(1, 4))
+                              if kind is FaultKind.PREEMPT else 1.0)
+                    if emit(iteration, kind, target, notice):
+                        crashed.append(target)
+                        crashes_left -= 1
+                        down_at[target] = iteration + (
+                            int(notice) if kind is FaultKind.PREEMPT else 0)
                     continue
             if kind is FaultKind.LINK_DEGRADE:
                 target = servers[int(rng.integers(len(servers)))]
                 factor = float(rng.uniform(0.3, 0.7))
-                out.append(FaultEvent(iteration, kind, target, factor))
+                emit(iteration, kind, target, factor)
+            elif kind is FaultKind.DEVICE_JOIN:
+                target = servers[int(rng.integers(len(servers)))]
+                emit(iteration, kind, target, float(rng.integers(1, 3)))
+            elif kind is FaultKind.SERVER_JOIN:
+                aliases = sorted(GPU_ALIASES)
+                target = aliases[int(rng.integers(len(aliases)))]
+                emit(iteration, kind, target, float(rng.integers(1, 3)))
+            elif kind is FaultKind.RECLAIM:
+                target = crashed[int(rng.integers(len(crashed)))]
+                # a device can only come back after it actually went dark
+                if emit(max(iteration, down_at[target] + 1), kind, target):
+                    crashed.remove(target)
+                    crashes_left += 1
             else:  # straggler
                 target = device_ids[int(rng.integers(len(device_ids)))]
                 factor = float(rng.uniform(1.5, 3.0))
-                out.append(FaultEvent(iteration, kind, target, factor))
+                emit(iteration, kind, target, factor)
         return FaultSchedule(tuple(out))
 
 
@@ -202,18 +305,48 @@ class FaultInjector:
         self.compute_scale: Dict[str, float] = {}
         self._degrades: List[FaultEvent] = []
         self._link_scale: Dict[Tuple[str, str], float] = {}
-        # validate targets up front so a typo fails at construction
-        known = set(cluster.device_ids) | set(cluster.server_names())
+        # the physical fleet: base cluster plus every activated join
+        # (it only ever grows — failures live in the overlay, so a
+        # reclaimed device is un-failed, never re-created)
+        self._fleet: Cluster = cluster
+        self._preempt_deadlines: Dict[str, int] = {}
+        self._validate(schedule)
+
+    def _validate(self, schedule: FaultSchedule) -> None:
+        """Fail at construction on a typo'd target, not mid-run."""
+        device_ids = set(self.cluster.device_ids)
+        servers = set(self.cluster.server_names())
+        future_dev = re.compile(r"gpu\d+$")
         for event in schedule:
-            if event.target not in known:
-                raise ReproError(
-                    f"fault targets unknown resource {event.target!r} "
-                    f"(known: {sorted(known)})")
-            if (event.kind is not FaultKind.LINK_DEGRADE
-                    and event.target not in cluster.device_ids):
-                raise ReproError(
-                    f"{event.kind.value} fault needs a device id, got "
-                    f"server {event.target!r}")
+            kind, target = event.kind, event.target
+            if kind is FaultKind.LINK_DEGRADE:
+                if target not in device_ids and target not in servers:
+                    raise ReproError(
+                        f"fault targets unknown resource {target!r} "
+                        f"(known: {sorted(device_ids | servers)})")
+            elif kind is FaultKind.DEVICE_JOIN:
+                if target not in servers:
+                    raise ReproError(
+                        f"join needs an existing server, got {target!r} "
+                        f"(known: {sorted(servers)})")
+            elif kind is FaultKind.SERVER_JOIN:
+                try:
+                    resolve_gpu(target)
+                except KeyError as exc:
+                    raise ReproError(f"server_join: {exc.args[0]}") from None
+            elif kind in (FaultKind.PREEMPT, FaultKind.RECLAIM):
+                # fleet-relative: ids beyond the base cluster are allowed
+                # when they match the fleet's naming (a device that joins
+                # mid-run); membership is re-checked at activation
+                if target not in device_ids and not future_dev.match(target):
+                    raise ReproError(
+                        f"{kind.value} fault needs a device id, got "
+                        f"{target!r} (known: {sorted(device_ids)})")
+            else:
+                if target not in device_ids:
+                    raise ReproError(
+                        f"{kind.value} fault needs a device id, got "
+                        f"{target!r} (known: {sorted(device_ids)})")
 
     # ---------------------------------------------------------------- #
     def bind(self, engine) -> None:
@@ -240,10 +373,17 @@ class FaultInjector:
     def any_active(self) -> bool:
         return self._next > 0
 
+    @property
+    def preempt_pending(self) -> Dict[str, int]:
+        """Devices under a spot notice -> iteration they go dark."""
+        return dict(self._preempt_deadlines)
+
     def advance(self, iteration: int) -> List[FaultEvent]:
         """Activate every event due at or before ``iteration``.
 
-        Returns the newly fired events (empty most iterations).
+        Returns the newly fired events (empty most iterations).  A
+        ``preempt`` notice whose window has elapsed fires a synthesized
+        ``crash`` for its device here — the spot instance is gone.
         """
         fired: List[FaultEvent] = []
         events = self.schedule.events
@@ -253,6 +393,13 @@ class FaultInjector:
             self._next += 1
             self._activate(event)
             fired.append(event)
+        for target in sorted(self._preempt_deadlines):
+            deadline = self._preempt_deadlines[target]
+            if deadline <= iteration:
+                del self._preempt_deadlines[target]
+                self.failed_devices.add(target)
+                fired.append(FaultEvent(deadline, FaultKind.DEVICE_CRASH,
+                                        target))
         if fired:
             self._push_overlay()
             tel = telemetry.active()
@@ -266,29 +413,61 @@ class FaultInjector:
         return fired
 
     def _activate(self, event: FaultEvent) -> None:
-        if event.kind is FaultKind.DEVICE_CRASH:
+        kind = event.kind
+        if kind is FaultKind.DEVICE_CRASH:
             self.failed_devices.add(event.target)
-        elif event.kind is FaultKind.STRAGGLER:
+        elif kind is FaultKind.STRAGGLER:
             # repeated stragglers on one device compound
             prev = self.compute_scale.get(event.target, 1.0)
             self.compute_scale[event.target] = prev * event.factor
+        elif kind is FaultKind.DEVICE_JOIN:
+            self._fleet = self._fleet.with_joined_devices(
+                event.target, event.count)
+        elif kind is FaultKind.SERVER_JOIN:
+            template = ServerSpec(self._next_server_name(),
+                                  resolve_gpu(event.target), event.count,
+                                  NIC_50G, intra_link=PCIE3)
+            self._fleet = self._fleet.with_joined_server(template)
+        elif kind is FaultKind.PREEMPT:
+            if event.target not in set(self._fleet.device_ids):
+                raise ReproError(
+                    f"preempt notice for a device not in the fleet: "
+                    f"{event.label}")
+            if event.target in self.failed_devices:
+                raise ReproError(
+                    f"preempt notice for an already-dead device: "
+                    f"{event.label}")
+            self._preempt_deadlines[event.target] = \
+                event.iteration + event.count
+        elif kind is FaultKind.RECLAIM:
+            if event.target not in self.failed_devices:
+                raise ReproError(
+                    f"reclaim of a device that is not down: {event.label}")
+            self.failed_devices.discard(event.target)
         else:
             self._degrades.append(event)
             for src, dst in self._links_of(event.target):
                 prev = self._link_scale.get((src, dst), 1.0)
                 self._link_scale[(src, dst)] = prev * event.factor
 
+    def _next_server_name(self) -> str:
+        """The next free ``server<N>`` name in the current fleet."""
+        taken = [int(name[6:]) for name in self._fleet.server_names()
+                 if name.startswith("server") and name[6:].isdigit()]
+        return f"server{(max(taken) + 1) if taken else 0}"
+
     def _links_of(self, target: str) -> List[Tuple[str, str]]:
         """Directed device pairs whose link degrades with ``target``."""
         pairs: List[Tuple[str, str]] = []
-        is_device = target in set(self.cluster.device_ids)
-        for link in self.cluster.links():
+        fleet = self._fleet
+        is_device = target in set(fleet.device_ids)
+        for link in fleet.links():
             if is_device:
                 if target in (link.src, link.dst):
                     pairs.append((link.src, link.dst))
             elif not link.intra_server and (
-                    self.cluster.device(link.src).server == target
-                    or self.cluster.device(link.dst).server == target):
+                    fleet.device(link.src).server == target
+                    or fleet.device(link.dst).server == target):
                 pairs.append((link.src, link.dst))
         return pairs
 
@@ -340,3 +519,23 @@ class FaultInjector:
         if stragglers:
             cluster = cluster.with_scaled_compute(stragglers)
         return cluster
+
+    def physical_cluster(self) -> Cluster:
+        """The fleet as hardware: base cluster plus every activated join.
+
+        Failed devices are *included* (they exist, they are just dark) —
+        this is what a rebuilt execution engine models, with the overlay
+        making the failures visible.
+        """
+        return self._fleet
+
+    def current_cluster(self) -> Cluster:
+        """The usable fleet right now: joins applied, failures removed.
+
+        The time-varying generalization of :meth:`degraded_cluster` —
+        identical to it while no capacity event has fired.  Devices
+        under a pending preempt notice are still present (they have not
+        died yet); a drain policy subtracts them itself via
+        :meth:`~repro.cluster.topology.Cluster.without_devices`.
+        """
+        return self.degraded_cluster(self._fleet)

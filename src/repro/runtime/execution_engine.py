@@ -59,9 +59,13 @@ class ExecutionEngine:
 
     def __init__(self, cluster: Cluster, *, jitter_sigma: float = 0.04,
                  interserver_discount: float = 0.92, seed: int = 1234,
+                 rng: Optional[np.random.Generator] = None,
                  fault_injector=None):
         self.cluster = cluster
-        self.rng = np.random.default_rng(seed)
+        # an explicit generator continues an existing stream (the elastic
+        # trainer rebuilds the engine mid-run when the fleet grows and
+        # must not restart the jitter sequence); otherwise seed a fresh one
+        self.rng = rng if rng is not None else np.random.default_rng(seed)
         self.cost = TruthCostModel(cluster, jitter_sigma=jitter_sigma,
                                    interserver_discount=interserver_discount,
                                    rng=self.rng)

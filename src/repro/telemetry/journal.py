@@ -68,6 +68,13 @@ EVENT_SCHEMAS: Dict[str, frozenset] = {
     "replan_started": frozenset({"devices"}),
     "replan_completed": frozenset({"seconds", "feasible"}),
     "resumed": frozenset({"iteration"}),
+    # elastic fleet: capacity events + scale-up economics
+    "device_joined": frozenset({"target", "devices"}),
+    "device_reclaimed": frozenset({"target", "devices"}),
+    "preempt_notice": frozenset({"target", "deadline"}),
+    "scale_up_replan": frozenset({"devices", "expected_savings",
+                                  "replan_cost"}),
+    "scale_up_skipped": frozenset({"expected_savings", "replan_cost"}),
 }
 
 #: coarse lifecycle phase per event type (the ``--phase`` filter).
@@ -98,6 +105,11 @@ PHASE_OF: Dict[str, str] = {
     "replan_started": "resilience",
     "replan_completed": "resilience",
     "resumed": "resilience",
+    "device_joined": "resilience",
+    "device_reclaimed": "resilience",
+    "preempt_notice": "resilience",
+    "scale_up_replan": "resilience",
+    "scale_up_skipped": "resilience",
 }
 
 _BASE_FIELDS = ("schema_version", "event", "request_id", "ts")
