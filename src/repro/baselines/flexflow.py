@@ -75,11 +75,17 @@ class FlexFlowSearch:
                temperature: float = 0.05) -> MCMCResult:
         m = self.cluster.num_devices
         n = self.grouping.num_groups
-        # start from the better of even / proportional AllReduce DP
+        # start from the better of even / proportional AllReduce DP,
+        # scored as one evaluate_many population
         candidates = [np.full(n, m + 1, dtype=np.int64),
                       np.full(n, m + 3, dtype=np.int64)]
-        scored = [(self._evaluate(c), i) for i, c in enumerate(candidates)]
-        scored.sort()
+        outcomes = self.builder.evaluate_many(
+            [actions_to_strategy(self.graph, self.cluster, self.grouping, c)
+             for c in candidates],
+            best=self._best)
+        scored = sorted(
+            (o.time if o.feasible else float("inf"), i)
+            for i, o in enumerate(outcomes))
         current = candidates[scored[0][1]]
         current_time = scored[0][0]
         best = current.copy()

@@ -200,6 +200,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
     config = bench_agent_config(args.seed)
     config.eval_workers = args.workers
     config.prune = not args.no_prune
+    config.engine = args.engine
     measured = ctx.run_heterog(graph, episodes=args.episodes,
                                agent_config=config)
     print(f"per-iteration time : {measured.display_time} s")
@@ -352,6 +353,9 @@ def cmd_churn(args: argparse.Namespace) -> int:
         schedule = churn.schedule(cluster)
     config = HeteroGConfig(episodes=episodes, seed=args.seed,
                            agent=bench_agent_config(args.seed))
+    config.agent.eval_workers = args.workers
+    config.agent.prune = not args.no_prune
+    config.agent.engine = args.engine
     heterog = HeteroG(cluster, config)
     with telemetry.session() as tel:
         print(f"searching healthy deployment for {graph.name} on {cluster} "
@@ -381,6 +385,22 @@ def _backend_options(args: argparse.Namespace) -> Optional[dict]:
     if getattr(args, "redispatch_limit", None) is not None:
         options["redispatch_limit"] = args.redispatch_limit
     return options or None
+
+
+def _add_eval_args(p: argparse.ArgumentParser) -> None:
+    """The evaluation knobs shared by every planning command
+    (``plan`` / ``serve`` / ``bench-service`` / ``churn``): same flag
+    names, same defaults everywhere.  Both are result-transparent
+    throughput switches; ``--no-prune`` is nevertheless fingerprinted
+    by the planning service so a pruned and an unpruned request never
+    coalesce, keeping A/B timings honest."""
+    p.add_argument("--no-prune", action="store_true",
+                   help="disable branch-and-bound candidate pruning "
+                   "(slower; results are identical either way)")
+    p.add_argument("--engine", choices=["kernel", "reference"],
+                   default="kernel",
+                   help="simulation event loop (default: kernel; the "
+                   "reference loop is slower but bit-identical)")
 
 
 def _add_backend_args(p: argparse.ArgumentParser) -> None:
@@ -419,6 +439,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     cluster = _resolve_cluster(args.cluster)()
     graph = build_model(model_name, args.preset)
     config = HeteroGConfig(seed=args.seed)
+    config.agent.engine = args.engine
     # each unique group gets its own episode budget, so groups have
     # distinct fingerprints while copies within a group are identical
     requests = [
@@ -470,10 +491,12 @@ def cmd_bench_service(args: argparse.Namespace) -> int:
     graph = build_model(model_name, args.preset)
     print(f"benchmarking {args.duplicates} duplicate requests for "
           f"{graph.name} on {cluster}...", file=sys.stderr)
+    config = HeteroGConfig(seed=args.seed)
+    config.agent.engine = args.engine
     numbers = bench_coalescing(
         graph, cluster, duplicates=args.duplicates,
         episodes=args.episodes, workers=args.workers,
-        config=HeteroGConfig(seed=args.seed),
+        config=config,
         backend=args.backend, backend_options=_backend_options(args),
         prune=not args.no_prune)
     for key, value in numbers.items():
@@ -653,9 +676,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "(default: 1 = serial; results are identical)")
     p.add_argument("--save", metavar="PATH",
                    help="save the strategy as JSON")
-    p.add_argument("--no-prune", action="store_true",
-                   help="disable branch-and-bound candidate pruning "
-                   "(slower; results are identical either way)")
+    _add_eval_args(p)
     p.set_defaults(func=cmd_plan)
 
     p = sub.add_parser("baselines", help="measure the DP baselines")
@@ -745,6 +766,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="episodes per replan search (default: 4)")
     p.add_argument("--quick", action="store_true",
                    help="CI smoke mode: trim episodes and steps")
+    p.add_argument("--workers", type=int, default=1,
+                   help="strategy-evaluation worker processes "
+                   "(default: 1 = serial; results are identical)")
+    _add_eval_args(p)
     p.add_argument("--preset", choices=["tiny", "bench", "paper"],
                    default="bench", help="model scale (default: bench)")
     p.add_argument("--seed", type=int, default=0)
@@ -768,9 +793,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-request deadline in seconds")
     p.add_argument("--max-queue", type=int, default=64,
                    help="admission-control queue bound (default: 64)")
-    p.add_argument("--no-prune", action="store_true",
-                   help="disable branch-and-bound candidate pruning "
-                   "(slower; results are identical either way)")
+    _add_eval_args(p)
     _add_backend_args(p)
     p.add_argument("--preset", choices=["tiny", "bench", "paper"],
                    default="bench", help="model scale (default: bench)")
@@ -792,9 +815,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="service worker threads (default: 2)")
     p.add_argument("--episodes", type=int, default=4,
                    help="search episodes per request (default: 4)")
-    p.add_argument("--no-prune", action="store_true",
-                   help="disable branch-and-bound candidate pruning "
-                   "(slower; results are identical either way)")
+    _add_eval_args(p)
     _add_backend_args(p)
     p.add_argument("--preset", choices=["tiny", "bench", "paper"],
                    default="tiny", help="model scale (default: tiny)")

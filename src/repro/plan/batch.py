@@ -1,9 +1,15 @@
 """BatchEvaluator: evaluate many candidate strategies concurrently.
 
 Strategy search is dominated by evaluator throughput (thousands of
-candidates per search).  The BatchEvaluator fans a list of candidates
-over a process pool while keeping the results bit-identical to the
-serial path:
+candidates per search).  The canonical population entry point is
+:meth:`PlanBuilder.evaluate_many` — lane-batched bounds, prebound
+pruning, ascending-bound evaluation order.  The BatchEvaluator is the
+multi-context / multi-process front end over it: ``evaluate`` and
+``evaluate_pairs`` are two adapters over **one** implementation
+(``evaluate`` wraps each strategy with its context and delegates to
+``evaluate_pairs``; both return outcomes in input order) which fans
+candidates over a process pool while keeping the results bit-identical
+to the serial path:
 
 - results come back in input order, regardless of completion order;
 - every worker runs the exact deterministic PlanBuilder chain, so a
@@ -225,10 +231,21 @@ class BatchEvaluator:
     def _evaluate_serial(self, todo: Sequence[Tuple[str, Strategy, str]], *,
                          best: Optional[BestMap] = None,
                          prune: bool = True) -> List[EvalOutcome]:
-        return [self._builders[context].evaluate(
-                    strategy, best=_best_for(best, context) if prune else None,
-                    prune=prune)
-                for context, strategy, _ in todo]
+        # one lane-batched evaluate_many per context: the builder prices
+        # all lanes through its LanePlanner, kills hopeless ones before
+        # compiling, and evaluates the rest in ascending-bound order
+        results: List[Optional[EvalOutcome]] = [None] * len(todo)
+        by_context: Dict[str, List[int]] = {}
+        for i, (context, _, _) in enumerate(todo):
+            by_context.setdefault(context, []).append(i)
+        for context, idxs in by_context.items():
+            outcomes = self._builders[context].evaluate_many(
+                [todo[i][1] for i in idxs],
+                best=_best_for(best, context) if prune else None,
+                prune=prune)
+            for i, outcome in zip(idxs, outcomes):
+                results[i] = outcome
+        return results  # type: ignore[return-value]
 
     def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._pool is None:

@@ -11,7 +11,7 @@ bit-identical to fresh ones (the whole chain is deterministic).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
 from .. import telemetry
 from ..cluster.topology import Cluster
@@ -23,9 +23,10 @@ from ..parallel.distgraph import DistGraph
 from ..parallel.strategy import Strategy
 from ..profiling.profiler import Profile, Profiler
 from ..scheduling.list_scheduler import FifoScheduler, ListScheduler
+from ..simulation.batch import LanePlanner
 from ..simulation.costs import ProfileCostModel
 from ..simulation.engine import Simulator
-from ..simulation.kernel import kernel_lower_bound, lower
+from ..simulation.kernel import PRUNE_GUARD, kernel_lower_bound, lower
 from ..simulation.metrics import SimulationResult
 from .cache import PlanCache
 from .fingerprint import fingerprint_context, fingerprint_strategy
@@ -34,6 +35,12 @@ from .pruning import BestSoFar
 
 DEFAULT_PLAN_CACHE = 64
 DEFAULT_OUTCOME_CACHE = 4096
+
+#: valid values for the builder's ``engine`` knob.  The two engines are
+#: bit-identical (PR 3's paired-fuzzing contract), so the knob changes
+#: wall-clock only, never results — which is why it is *not* part of the
+#: context fingerprint.
+ENGINES = ("kernel", "reference")
 
 
 class PlanBuilder:
@@ -44,7 +51,13 @@ class PlanBuilder:
                  use_order_scheduling: bool = True,
                  group_of: Optional[Mapping[str, int]] = None,
                  plan_cache_size: int = DEFAULT_PLAN_CACHE,
-                 outcome_cache_size: int = DEFAULT_OUTCOME_CACHE):
+                 outcome_cache_size: int = DEFAULT_OUTCOME_CACHE,
+                 engine: str = "kernel"):
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown simulation engine {engine!r}; expected one of "
+                f"{ENGINES}")
+        self.engine = engine
         self.graph = graph
         self.cluster = cluster
         self.profile = profile if profile is not None else Profiler().profile(
@@ -65,6 +78,7 @@ class PlanBuilder:
         )
         self._plans = PlanCache(plan_cache_size, kind="plan")
         self._outcomes = PlanCache(outcome_cache_size, kind="outcome")
+        self._lane_planner: Optional[LanePlanner] = None
         # pruning observability: evaluate() calls vs pruned outcomes
         self.evals_total = 0
         self.evals_pruned = 0
@@ -131,14 +145,16 @@ class PlanBuilder:
             kernel = lower(dist)
             if limit is not None:
                 bound = kernel_lower_bound(kernel, self.cost)
-                if bound is not None and bound > limit:
+                # violation beyond the fp guard margin only — a bound's
+                # rounding may differ from the event loop's by ulps
+                if bound is not None and bound > limit * (1.0 + PRUNE_GUARD):
                     return None, self._pruned_outcome(
                         stage="bound", bound=bound, threshold=limit,
                         dist_ops=len(dist))
             schedule = self._scheduler.schedule(
                 dist, self.cost, kernel=kernel,
                 resident_bytes=resident, capacities=self.capacities,
-                prune_above=limit, prune=prune,
+                prune_above=limit, prune=prune, engine=self.engine,
             )
             sim = schedule.sim_result
             if sim is not None and sim.pruned:
@@ -170,7 +186,8 @@ class PlanBuilder:
     # ------------------------------------------------------------------ #
     def simulate(self, plan: ExecutionPlan, *,
                  trace: bool = False,
-                 prune_above: Optional[float] = None) -> SimulationResult:
+                 prune_above: Optional[float] = None,
+                 engine: Optional[str] = None) -> SimulationResult:
         """Run the Strategy Maker's simulator over a plan.
 
         Plans built by this builder already carry the chosen order's
@@ -178,6 +195,8 @@ class PlanBuilder:
         e.g. after mutating the dist graph.  ``prune_above`` aborts the
         run once the simulated clock exceeds it (deterministic cost
         providers only) and returns a partial, ``pruned`` result.
+        ``engine`` overrides the builder's engine for this run (the two
+        engines return bit-identical results).
         """
         kernel = plan.kernel
         if kernel is not None and kernel.version != plan.dist.version:
@@ -191,6 +210,7 @@ class PlanBuilder:
             capacities=dict(plan.capacities),
             trace=trace,
             kernel=kernel,
+            engine=engine if engine is not None else self.engine,
             prune_above=prune_above,
         )
 
@@ -243,6 +263,105 @@ class PlanBuilder:
                      time=outcome.time, cached=False)
         return outcome
 
+    def evaluate_many(
+        self, strategies: Sequence[Strategy], *,
+        best: Optional[BestSoFar] = None,
+        prune: bool = True,
+        prune_above: Union[None, float, Sequence[Optional[float]]] = None,
+    ) -> List[EvalOutcome]:
+        """Evaluate a population of candidates through one batched pass.
+
+        The single canonical population entry point: every consumer
+        that evaluates more than one candidate (`BatchEvaluator`, the
+        fleet's borrowed workers, REINFORCE episodes, CEM rounds, MCMC
+        restarts) routes through here.  Results are returned in input
+        order and each is exactly what :meth:`evaluate` would return —
+        per-candidate outcome caching, fingerprinting and best-so-far
+        observation all behave identically.
+
+        What the batch adds over a per-candidate loop:
+
+        - duplicate strategies are evaluated once and fanned out;
+        - under a prune threshold (``best`` and/or ``prune_above``) all
+          lanes are first priced through the shared
+          :class:`~repro.simulation.batch.LanePlanner` — one
+          no-contention lower bound per lane from stacked per-op
+          arrays, at a fraction of a compile's cost — and lanes whose
+          admissible bound already exceeds the threshold are killed
+          *before* compilation (``prune_stage="prebound"``);
+        - surviving lanes are evaluated in ascending-bound order, so
+          the likeliest winner runs first and tightens ``best`` for
+          everyone after it.
+
+        Pruning never changes the winner: prebound kills use admissible
+        bounds, so any lane that could beat the threshold is fully
+        evaluated and bit-identical to its serial ``evaluate`` (and to
+        ``engine="reference"``).  With ``prune=False`` or no threshold
+        source the batch degrades to the plain input-order sweep.
+
+        ``prune_above`` may be a scalar or a per-candidate sequence
+        (the fleet stamps one threshold snapshot per item at dispatch).
+        """
+        strategies = list(strategies)
+        if not strategies:
+            return []
+        n = len(strategies)
+        if prune_above is None or isinstance(prune_above, (int, float)):
+            thresholds: List[Optional[float]] = [prune_above] * n
+        else:
+            thresholds = list(prune_above)
+            if len(thresholds) != n:
+                raise ValueError(
+                    f"prune_above sequence has {len(thresholds)} entries "
+                    f"for {n} strategies")
+        fps = [self.fingerprint(s) for s in strategies]
+        first: Dict[str, int] = {}
+        for i, fp in enumerate(fps):
+            first.setdefault(fp, i)
+        unique = [i for i, fp in enumerate(fps) if first[fp] == i]
+        outcomes: List[Optional[EvalOutcome]] = [None] * n
+
+        bounds: Optional[Dict[int, float]] = None
+        may_prune = prune and (best is not None
+                               or any(t is not None for t in thresholds))
+        if may_prune:
+            planner = self._lane_planner
+            if planner is None:
+                planner = LanePlanner(self.graph, self.cluster, self.cost)
+                self._lane_planner = planner
+            if planner.usable:
+                arr, _ = planner.bounds([strategies[i] for i in unique])
+                bounds = {i: float(arr[k]) for k, i in enumerate(unique)}
+        order = (sorted(unique, key=lambda i: (bounds[i], i))
+                 if bounds is not None else unique)
+        for i in order:
+            limit = self._prune_limit(best, thresholds[i]) if prune else None
+            bound = bounds[i] if bounds is not None else float("-inf")
+            if limit is not None and bound > limit * (1.0 + PRUNE_GUARD):
+                self.evals_total += 1
+                cached = self.cached_outcome(fps[i], limit=limit, best=best)
+                if cached is not None:
+                    outcomes[i] = cached
+                    continue
+                outcome = self._pruned_outcome(
+                    stage="prebound", bound=bound, threshold=limit,
+                    dist_ops=0)
+                # admissible and threshold-independent, like "bound"
+                self._outcomes.put(fps[i], outcome)
+                self.evals_pruned += 1
+                self._observe_pruned_fraction()
+                record_event("candidate_evaluated", feasible=False,
+                             time=outcome.time, cached=False)
+                outcomes[i] = outcome
+            else:
+                outcomes[i] = self.evaluate(strategies[i], best=best,
+                                            prune=prune,
+                                            prune_above=thresholds[i])
+        for i, fp in enumerate(fps):
+            if outcomes[i] is None:
+                outcomes[i] = outcomes[first[fp]]
+        return outcomes  # type: ignore[return-value]
+
     def cached_outcome(self, fp: str, *,
                        limit: Optional[float] = None,
                        best: Optional[BestSoFar] = None
@@ -261,7 +380,7 @@ class PlanBuilder:
             return None
         if cached.pruned:
             if (limit is None or cached.bound is None
-                    or not cached.bound > limit):
+                    or not cached.bound > limit * (1.0 + PRUNE_GUARD)):
                 return None
             self.evals_pruned += 1
             self._observe_pruned_fraction()
@@ -325,9 +444,11 @@ class PlanBuilder:
         process) so later evaluations of the same strategy hit the cache.
 
         Mid-sim-pruned outcomes are threshold-dependent and are never
-        installed; static bound-pruned ones are (the bound is a property
-        of the candidate and :meth:`cached_outcome` re-checks it against
-        the serving threshold)."""
-        if outcome.pruned and outcome.prune_stage != "bound":
+        installed; static bound-pruned ones ("bound" from the lowered
+        kernel, "prebound" from the batched lane planner) are — the
+        bound is a property of the candidate and :meth:`cached_outcome`
+        re-checks it against the serving threshold."""
+        if outcome.pruned and outcome.prune_stage not in ("bound",
+                                                          "prebound"):
             return
         self._outcomes.put(fingerprint, outcome)

@@ -1,11 +1,6 @@
 """Runtime: execution engine (testbed stand-in), deployments, runner."""
 
-from .deployment import (
-    Deployment,
-    build_deployment,
-    deployment_from_plan,
-    make_deployment,
-)
+from .deployment import Deployment, build_deployment
 from .execution_engine import ExecutionEngine, IterationStats
 from .runner import DistributedRunner, TrainingReport
 from .trainer_loop import (
@@ -19,8 +14,6 @@ from .trainer_loop import (
 __all__ = [
     "Deployment",
     "build_deployment",
-    "deployment_from_plan",
-    "make_deployment",
     "ExecutionEngine",
     "IterationStats",
     "DistributedRunner",

@@ -5,13 +5,13 @@ either a ready :class:`~repro.plan.ExecutionPlan` or a
 (graph, cluster, strategy) triple, runs the plan layer when needed, and
 re-shapes the plan into the engine-facing :class:`Deployment` (plus the
 plan itself, for consumers that want the fingerprint or capacities).
-The historical ``make_deployment`` / ``deployment_from_plan`` split is
-kept as thin deprecated wrappers.
+The historical ``make_deployment`` / ``deployment_from_plan`` split was
+removed after a deprecation cycle; both call shapes live on as the two
+forms of ``build_deployment``.
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional, Union
 
@@ -96,32 +96,4 @@ def build_deployment(source: Union[ExecutionPlan, ComputationGraph],
         resident_bytes=dict(plan.resident_bytes),
         profile=plan.profile,
         plan=plan,
-    )
-
-
-def deployment_from_plan(plan: ExecutionPlan) -> Deployment:
-    """Deprecated alias of ``build_deployment(plan)``."""
-    warnings.warn(
-        "deployment_from_plan() is deprecated; use build_deployment(plan)",
-        DeprecationWarning, stacklevel=2,
-    )
-    return build_deployment(plan)
-
-
-def make_deployment(graph: ComputationGraph, cluster: Cluster,
-                    strategy: Strategy, *,
-                    profile: Optional[Profile] = None,
-                    use_order_scheduling: bool = True,
-                    group_of: Optional[Dict[str, int]] = None,
-                    builder: Optional[PlanBuilder] = None) -> Deployment:
-    """Deprecated alias of ``build_deployment(graph, cluster, strategy)``."""
-    warnings.warn(
-        "make_deployment() is deprecated; use "
-        "build_deployment(graph, cluster, strategy, ...)",
-        DeprecationWarning, stacklevel=2,
-    )
-    return build_deployment(
-        graph, cluster, strategy, profile=profile,
-        use_order_scheduling=use_order_scheduling, group_of=group_of,
-        builder=builder,
     )

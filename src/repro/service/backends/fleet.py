@@ -152,17 +152,28 @@ def _worker_evaluate(builders: Dict[str, Any], msg: EvalRequestMessage):
         builders[digest] = PlanBuilder(
             graph, cluster, profile,
             use_order_scheduling=order, group_of=group_of)
-    outcomes = []
-    for name, strategy_dict in msg.items:
+    # whole lane-batches per context: one evaluate_many prices every
+    # lane of the chunk through the builder's LanePlanner and kills
+    # hopeless ones before compiling.  The manager piggybacked its
+    # best-so-far at dispatch time; the threshold stays fixed for the
+    # whole chunk (worker-local tightening would over-prune k-elite
+    # searches), which is exactly evaluate_many's prune_above form.
+    outcomes: "list" = [None] * len(msg.items)
+    by_context: Dict[str, "list"] = {}
+    for i, (name, _) in enumerate(msg.items):
+        by_context.setdefault(name, []).append(i)
+    for name, idxs in by_context.items():
         builder = builders[msg.digests[name]]
-        strategy = strategy_from_dict(strategy_dict, builder.graph,
-                                      builder.cluster)
-        # the manager piggybacked its best-so-far at dispatch time; the
-        # threshold stays fixed for the whole chunk (worker-local
-        # tightening would over-prune k-elite searches)
-        outcomes.append(builder.evaluate(
-            strategy, prune=msg.prune,
-            prune_above=msg.prune_above.get(name)))
+        strategies = [
+            strategy_from_dict(msg.items[i][1], builder.graph,
+                               builder.cluster)
+            for i in idxs
+        ]
+        outs = builder.evaluate_many(
+            strategies, prune=msg.prune,
+            prune_above=msg.prune_above.get(name))
+        for i, outcome in zip(idxs, outs):
+            outcomes[i] = outcome
     return outcomes
 
 

@@ -43,7 +43,7 @@ from .. import telemetry
 from ..errors import SimulationError
 from ..parallel.distgraph import DistGraph, DistOp
 from .costs import CostProvider
-from .kernel import SimKernel, lower
+from .kernel import PRUNE_GUARD, SimKernel, lower
 from .memory import MemoryTracker
 from .metrics import SimulationResult, union_length
 
@@ -163,6 +163,11 @@ class Simulator:
             raise SimulationError("strict mode requires explicit priorities")
         wall_start = time.perf_counter() if tel is not None else 0.0
         prune_limit = float("inf") if prune_above is None else prune_above
+        # the tail bound's fp rounding differs from the event loop's own
+        # accumulation; require violation beyond the guard margin so a
+        # cut is sound in floating point (the clock check stays exact —
+        # ``now`` IS a completion time of the run being bounded)
+        tail_limit = prune_limit * (1.0 + PRUNE_GUARD)
         was_pruned = False
 
         n = kernel.n
@@ -405,7 +410,7 @@ class Simulator:
                 # the threshold and ``now`` is an admissible lower bound
                 was_pruned = True
                 break
-            if tails is not None and now + tails[i] > prune_limit:
+            if tails is not None and now + tails[i] > tail_limit:
                 # ``i``'s downstream chain alone pushes the makespan past
                 # the threshold; report the violated bound as the partial
                 # makespan (still admissible, strictly tighter than now)
@@ -531,6 +536,9 @@ class Simulator:
             raise SimulationError("strict mode requires explicit priorities")
         wall_start = time.perf_counter() if tel is not None else 0.0
         prune_limit = float("inf") if prune_above is None else prune_above
+        # see the kernel engine: tail cuts must violate by more than the
+        # fp guard margin; the clock check stays exact
+        tail_limit = prune_limit * (1.0 + PRUNE_GUARD)
         was_pruned = False
 
         ops: Dict[str, DistOp] = {name: graph.op(name)
@@ -695,7 +703,7 @@ class Simulator:
             if now > prune_limit:
                 was_pruned = True
                 break
-            if tails is not None and now + tails[name] > prune_limit:
+            if tails is not None and now + tails[name] > tail_limit:
                 was_pruned = True
                 now += tails[name]
                 break

@@ -306,6 +306,20 @@ class SimKernel:
                 f"{len(self.resource_names)} resources)")
 
 
+#: relative slack applied to every bound-vs-threshold comparison before
+#: pruning a candidate.  The bounds (static kernel bound, lane bound,
+#: the mid-sim tail bound) are sums over op chains whose floating-point
+#: rounding differs from the event loop's own accumulation, so a bound
+#: can exceed the true makespan by a few ulps (~n*eps relative) — and a
+#: threshold sitting within that noise of the true makespan (the
+#: scheduler's internal rank-vs-earliest race produces exactly this)
+#: would fire a false cut and shift the winner by one ulp.  Requiring a
+#: violation by more than this margin keeps every cut sound in floating
+#: point: a candidate inside the margin is simply evaluated in full.
+#: n*eps stays far below 1e-9 for any graph this repo can lower.
+PRUNE_GUARD = 1e-9
+
+
 def kernel_lower_bound(kernel: SimKernel,
                        cost: CostProvider) -> Optional[float]:
     """Admissible makespan lower bound for ``kernel`` under ``cost``.

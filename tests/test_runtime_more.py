@@ -12,8 +12,6 @@ from repro.runtime import (
     ConvergenceModel,
     DistributedRunner,
     build_deployment,
-    deployment_from_plan,
-    make_deployment,
 )
 
 from tests.helpers import make_mlp
@@ -56,27 +54,14 @@ class TestDeployment:
             r2.mean_iteration_time, rel=0.2)
 
 
-class TestDeprecatedDeploymentAliases:
-    """The pre-service constructors survive as warning wrappers."""
+class TestDeploymentConstructorShapes:
+    """build_deployment is the one constructor; the pre-service
+    aliases (make_deployment / deployment_from_plan) are gone."""
 
-    def test_make_deployment_warns_and_delegates(self, four_gpu):
-        g = make_mlp(name="dep_warn1")
-        strategy = single_device_strategy(g, four_gpu)
-        with pytest.warns(DeprecationWarning, match="build_deployment"):
-            dep = make_deployment(g, four_gpu, strategy)
-        canonical = build_deployment(g, four_gpu, strategy)
-        assert dep.dist.op_names == canonical.dist.op_names
-        assert dep.resident_bytes == canonical.resident_bytes
-
-    def test_deployment_from_plan_warns_and_delegates(self, four_gpu):
-        from repro.plan import PlanBuilder
-        g = make_mlp(name="dep_warn2")
-        strategy = single_device_strategy(g, four_gpu)
-        plan = PlanBuilder(g, four_gpu).build(strategy)
-        with pytest.warns(DeprecationWarning, match="build_deployment"):
-            dep = deployment_from_plan(plan)
-        assert dep.plan is plan
-        assert dep.dist is plan.dist
+    def test_deprecated_aliases_removed(self):
+        import repro.runtime as runtime
+        assert not hasattr(runtime, "make_deployment")
+        assert not hasattr(runtime, "deployment_from_plan")
 
     def test_build_deployment_from_plan_shape(self, four_gpu):
         from repro.plan import PlanBuilder
